@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Directory where every benchmark writes its rendered table/figure.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale() -> int:
+    """The campaign scale factor (default 1), from ``MUTINY_BENCH_SCALE``."""
+    try:
+        return max(1, int(os.environ.get("MUTINY_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a rendered table/figure under ``benchmarks/output/`` and print it."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

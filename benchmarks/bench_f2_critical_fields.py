@@ -1,0 +1,28 @@
+"""Finding F2 — critical-field analysis (§V-C2).
+
+Which fields caused Sta / Out / SU failures, and what fraction of those
+injections targeted the fields tracking dependency relationships among
+resource instances (labels, selectors, owner references).  The paper reports
+51% for the full 8,782-experiment campaign.
+"""
+
+from _benchutil import write_output
+
+from repro.core.analysis import critical_field_analysis
+from repro.core.report import render_critical_fields
+
+
+def test_f2_critical_fields(benchmark, campaign_result):
+    text = benchmark(render_critical_fields, campaign_result.results)
+    write_output("f2_critical_fields.txt", text)
+
+    report = critical_field_analysis(campaign_result.results)
+    if report.critical_experiments:
+        # Shape: dependency-tracking and identity fields dominate the
+        # critical set (the paper's 51% + the name/namespace/uid group).
+        dependency_like = (
+            report.injections_per_category.get("dependency", 0)
+            + report.injections_per_category.get("identity", 0)
+            + report.injections_per_category.get("serialization/message", 0)
+        )
+        assert dependency_like >= report.critical_experiments * 0.3

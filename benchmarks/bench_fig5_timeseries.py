@@ -1,0 +1,21 @@
+"""Figure 5 — a golden latency time series next to an injected one."""
+
+from _benchutil import write_output
+
+from repro.core.report import render_figure5
+
+
+def test_fig5_timeseries(benchmark, campaign_result):
+    # Pick the injected run with the largest client impact and compare it with
+    # the golden baseline of its workload, as the paper's Figure 5 does.
+    results = [result for result in campaign_result.results if result.latency_series]
+    worst = max(results, key=lambda result: result.client_zscore)
+    baseline = campaign_result.baselines[worst.workload.value]
+
+    text = benchmark(
+        render_figure5, baseline.baseline_series, worst.latency_series, worst.client_zscore
+    )
+    write_output("fig5_timeseries.txt", text)
+
+    assert len(baseline.baseline_series) > 0
+    assert len(worst.latency_series) > 0

@@ -1,0 +1,19 @@
+"""Figure 6 — client latency z-scores per orchestrator failure category."""
+
+from _benchutil import write_output
+
+from repro.core.analysis import client_impact_analysis
+from repro.core.report import render_figure6
+
+
+def test_fig6_zscore_impact(benchmark, campaign_result):
+    text = benchmark(render_figure6, campaign_result.results)
+    write_output("fig6_zscore_impact.txt", text)
+
+    report = client_impact_analysis(campaign_result.results)
+    summary = report.summary()
+    assert summary, "at least one failure category must have z-scores"
+    # Shape (paper Figure 6): runs with no orchestrator failure sit near the
+    # golden baseline (small median z-score).
+    if "No" in summary:
+        assert summary["No"]["median"] < 2.0

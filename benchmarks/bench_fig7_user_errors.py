@@ -1,0 +1,16 @@
+"""Figure 7 — how often the cluster user received an error from the Apiserver."""
+
+from _benchutil import write_output
+
+from repro.core.analysis import user_error_analysis
+from repro.core.report import render_figure7
+
+
+def test_fig7_user_errors(benchmark, campaign_result):
+    text = benchmark(render_figure7, campaign_result.results)
+    write_output("fig7_user_errors.txt", text)
+
+    report = user_error_analysis(campaign_result.results)
+    # Shape (paper F4): in the vast majority of failed experiments the user
+    # receives no error from the Apiserver (>85% in the paper).
+    assert report.silent_failure_fraction >= 0.5

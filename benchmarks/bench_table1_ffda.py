@@ -1,0 +1,14 @@
+"""Table I — the FFDA fault/error/failure chain of real-world incidents."""
+
+from _benchutil import write_output
+
+from repro.core import ffda
+from repro.core.report import render_table1
+
+
+def test_table1_ffda(benchmark):
+    text = benchmark(render_table1)
+    write_output("table1_ffda.txt", text)
+    assert ffda.incident_count() == 81
+    assert ffda.outage_count() == 15
+    assert ffda.misconfiguration_count() == 33

@@ -1,0 +1,19 @@
+"""Table III — propagation of orchestrator-level failures to client-level failures."""
+
+from _benchutil import write_output
+
+from repro.core.classification import ClientFailure, OrchestratorFailure
+from repro.core.report import render_table3
+
+
+def test_table3_of_cf_mapping(benchmark, campaign_result):
+    text = benchmark(render_table3, campaign_result)
+    write_output("table3_of_cf_mapping.txt", text)
+
+    matrix = campaign_result.of_cf_matrix()
+    # Shape check (paper Table III): runs with no orchestrator failure mostly
+    # have no client impact, and they dominate the matrix.
+    no_row = matrix[OrchestratorFailure.NO.value]
+    assert no_row[ClientFailure.NSI.value] >= no_row[ClientFailure.SU.value]
+    total = sum(sum(row.values()) for row in matrix.values())
+    assert total == campaign_result.total_experiments()

@@ -1,0 +1,20 @@
+"""Table IV — orchestrator-level failures per workload and injection type."""
+
+from _benchutil import write_output
+
+from repro.core.analysis import no_effect_fraction, system_wide_fraction
+from repro.core.report import render_table4
+
+
+def test_table4_of_stats(benchmark, campaign_result):
+    text = benchmark(render_table4, campaign_result)
+    write_output("table4_of_stats.txt", text)
+
+    results = campaign_result.results
+    # Shape checks against the paper's headline numbers (F1): most injections
+    # have no effect, a small but non-zero fraction is system-wide (Sta/Out).
+    assert no_effect_fraction(results) > 0.4
+    assert 0.0 <= system_wide_fraction(results) < 0.35
+    # All three workloads and all three injection families are represented.
+    workloads = {workload for workload, _ in campaign_result.of_counts()}
+    assert workloads == {"deploy", "scale", "failover"}

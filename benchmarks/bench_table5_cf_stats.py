@@ -1,0 +1,21 @@
+"""Table V — client-level failures per workload and injection type."""
+
+from _benchutil import write_output
+
+from repro.core.classification import ClientFailure
+from repro.core.report import render_table5
+
+
+def test_table5_cf_stats(benchmark, campaign_result):
+    text = benchmark(render_table5, campaign_result)
+    write_output("table5_cf_stats.txt", text)
+
+    counts = campaign_result.cf_counts()
+    totals = {failure.value: 0 for failure in ClientFailure}
+    for row in counts.values():
+        for key, value in row.items():
+            totals[key] += value
+    total = sum(totals.values())
+    assert total == campaign_result.total_experiments()
+    # Paper Table V shape: NSI dominates (~89% in the paper).
+    assert totals[ClientFailure.NSI.value] >= total * 0.5

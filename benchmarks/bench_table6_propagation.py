@@ -1,0 +1,19 @@
+"""Table VI — propagation of corrupted component→Apiserver messages."""
+
+from _benchutil import write_output
+
+from repro.core.report import render_table6
+
+
+def test_table6_propagation(benchmark, propagation_rows):
+    text = benchmark(render_table6, propagation_rows)
+    write_output("table6_propagation.txt", text)
+
+    for row in propagation_rows:
+        assert row["injections"] == row["propagated"] + row["errors"]
+    # Paper Table VI shape: a substantial share of corrupted values propagates
+    # to the store without being caught by validation.
+    propagated = sum(row["propagated"] for row in propagation_rows)
+    injections = sum(row["injections"] for row in propagation_rows)
+    assert injections > 0
+    assert propagated >= injections * 0.3

@@ -1,0 +1,20 @@
+"""Table VII — real-world error/failure subcategories Mutiny can replicate."""
+
+from _benchutil import write_output
+
+from repro.core import ffda
+from repro.core.report import render_table7
+
+
+def test_table7_coverage(benchmark):
+    text = benchmark(render_table7)
+    write_output("table7_coverage.txt", text)
+
+    coverage = ffda.coverage_table()
+    failure_rows = [marker for rows in coverage["failures"].values() for _, marker in rows]
+    error_rows = [marker for rows in coverage["errors"].values() for _, marker in rows]
+    # Shape (paper §VI-A): almost all failure subcategories are covered, while
+    # several node-local error subcategories are not.
+    replicable_failures = failure_rows.count("replicable") + failure_rows.count("mutiny-only")
+    assert replicable_failures / len(failure_rows) > 0.8
+    assert error_rows.count("not-replicable") >= 4

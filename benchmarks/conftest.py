@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The paper's campaign is ~8,800 experiments on a physical five-node cluster;
+the benchmarks run a scaled-down campaign on the simulated cluster once per
+session and share its results across every table/figure benchmark.  Set
+``MUTINY_BENCH_SCALE`` to a larger integer to grow the campaign toward the
+paper's size (experiments per workload = 8 × scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _benchutil import bench_scale
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.workloads.workload import WorkloadKind
+
+
+@pytest.fixture(scope="session")
+def campaign_config() -> CampaignConfig:
+    """Configuration of the shared benchmark campaign."""
+    return CampaignConfig(
+        workloads=(WorkloadKind.DEPLOY, WorkloadKind.SCALE_UP, WorkloadKind.FAILOVER),
+        golden_runs=2,
+        max_experiments_per_workload=16 * bench_scale(),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_result(campaign_config):
+    """Run the shared reduced-scale injection campaign once per session."""
+    campaign = Campaign(campaign_config)
+    return campaign.run()
+
+
+@pytest.fixture(scope="session")
+def propagation_rows():
+    """Run the Table VI propagation experiments once per session."""
+    campaign = Campaign(
+        CampaignConfig(workloads=(WorkloadKind.DEPLOY,), golden_runs=1, seed=11)
+    )
+    return campaign.run_propagation(
+        components=("kube-controller-manager", "kube-scheduler", "kubelet"),
+        fields_per_component=3 * bench_scale(),
+    )

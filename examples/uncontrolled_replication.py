@@ -1,0 +1,88 @@
+"""The paper's flagship failure: uncontrolled replication ending in an outage.
+
+Reproduces the "Example of uncontrolled replication" of paper §V-C1 at the
+cluster level (not through the experiment runner), so that the intermediate
+state is visible: a single-bit corruption of the labels that associate Pods
+with the networking DaemonSet makes the controller unable to recognise its
+pods; it spawns replacements in a loop; the replacements run at
+system-node-critical priority, so they preempt the application pods; and the
+cluster drifts toward resource exhaustion.
+
+Run with::
+
+    python examples/uncontrolled_replication.py
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
+from repro.workloads.scenario import ServiceApplication
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(seed=3))
+    print("Booting the cluster (1 control plane + 4 workers)...")
+    cluster.boot(stabilization_seconds=30.0)
+
+    user = cluster.user_client()
+    application = ServiceApplication(user)
+    application.create_shared_objects()
+    application.create_deployments(count=3, replicas=2)
+    cluster.run_for(20.0)
+    pods = cluster.client.list("Pod")
+    print(f"Steady state: {len(pods)} pods "
+          f"({sum(1 for p in pods if p['metadata']['namespace'] == 'default')} application pods)")
+
+    # Arm Mutiny: flip the least-significant bit of the first character of the
+    # DaemonSet's pod selector on the next write of that DaemonSet.  After the
+    # corruption the controller no longer recognises any of its pods.
+    fault = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="DaemonSet",
+        name="kube-network-manager",
+        namespace="kube-system",
+        field_path="spec.selector.matchLabels.app",
+        fault_type=FaultType.BIT_FLIP,
+        bit_index=0,
+        occurrence=1,
+    )
+    injector = MutinyInjector(fault)
+
+    def hook(context, data):
+        injector.set_clock(cluster.sim.now)
+        return injector.etcd_write_hook(context, data)
+
+    cluster.apiserver.set_etcd_write_hook(hook)
+    print(f"\nArmed: {fault.describe()}")
+
+    # Touch the DaemonSet the way an operator (or an upgrade) would, so a
+    # DaemonSet write flows through the corrupted channel.
+    daemonset = cluster.client.get("DaemonSet", "kube-network-manager", namespace="kube-system")
+    daemonset["metadata"]["annotations"]["upgrade"] = "1.1.3"
+    cluster.client.update("DaemonSet", daemonset)
+
+    for step in range(6):
+        cluster.run_for(10.0, max_events=100_000)
+        pods = cluster.client.list("Pod")
+        app_pods = [p for p in pods if p["metadata"]["namespace"] == "default"]
+        ds_pods = [
+            p
+            for p in pods
+            if p["metadata"]["namespace"] == "kube-system"
+            and "network" in str(p["metadata"]["name"])
+        ]
+        store = cluster.store.stats()
+        print(
+            f"t={cluster.sim.now:6.1f}s  total pods={len(pods):4d}  "
+            f"application pods={len(app_pods):3d}  network-manager pods={len(ds_pods):4d}  "
+            f"etcd keys={store['keys']:4d}  space alarm={store['alarm_active']}"
+        )
+
+    print(
+        "\nThe DaemonSet controller no longer recognises its pods, so it keeps "
+        "spawning replacements; their critical priority preempts application "
+        "pods and the data store fills up — a Stall escalating to an Outage."
+    )
+
+
+if __name__ == "__main__":
+    main()

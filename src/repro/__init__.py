@@ -1,0 +1,44 @@
+"""Mutiny: a reproduction of "Mutiny! How does Kubernetes fail, and what can
+we do about it?" (DSN 2024).
+
+The package is organised in two layers:
+
+* substrates — a discrete-event simulated Kubernetes cluster
+  (:mod:`repro.sim`, :mod:`repro.etcd`, :mod:`repro.apiserver`,
+  :mod:`repro.controllers`, :mod:`repro.scheduler`, :mod:`repro.kubelet`,
+  :mod:`repro.network`, :mod:`repro.cluster`, :mod:`repro.workloads`,
+  :mod:`repro.monitoring`, :mod:`repro.serialization`,
+  :mod:`repro.objects`);
+* core — the paper's contribution (:mod:`repro.core`): the Mutiny
+  injector, the fault/error injection campaign manager, the failure
+  classifiers, the field-failure-data-analysis dataset and the analysis
+  and reporting utilities.
+
+The most convenient entry points are re-exported here.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.core.classification import ClientFailure, OrchestratorFailure
+from repro.core.experiment import ExperimentResult, ExperimentRunner
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
+from repro.workloads.workload import WorkloadKind
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "ClientFailure",
+    "Cluster",
+    "ClusterConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FaultSpec",
+    "FaultType",
+    "InjectionChannel",
+    "MutinyInjector",
+    "OrchestratorFailure",
+    "WorkloadKind",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,29 @@
+"""The API server.
+
+The Apiserver is the only component that talks to the data store; every
+other component reads and writes cluster state through it.  This package
+provides the request path (validation → admission → serialization → etcd
+transaction), the watch hub that notifies controllers of state changes, and
+the client wrapper used by components — the two communication channels the
+Mutiny injector can tamper with.
+"""
+
+from repro.apiserver.apiserver import APIServer
+from repro.apiserver.client import APIClient
+from repro.apiserver.errors import (
+    ApiError,
+    ConflictError,
+    InvalidObjectError,
+    NotFoundError,
+    ServerUnavailableError,
+)
+
+__all__ = [
+    "APIClient",
+    "APIServer",
+    "ApiError",
+    "ConflictError",
+    "InvalidObjectError",
+    "NotFoundError",
+    "ServerUnavailableError",
+]

@@ -1,0 +1,57 @@
+"""API error hierarchy.
+
+These map onto the HTTP status classes the real Apiserver returns.  The
+user-error analysis (paper §V-C3, Figure 7) counts experiments in which the
+cluster user received any of these errors in response to a request.
+"""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """Base class for errors returned by the Apiserver."""
+
+    status_code = 500
+    reason = "InternalError"
+
+
+class InvalidObjectError(ApiError):
+    """The object failed validation or could not be decoded (HTTP 400/422)."""
+
+    status_code = 422
+    reason = "Invalid"
+
+
+class NotFoundError(ApiError):
+    """The requested resource instance does not exist (HTTP 404)."""
+
+    status_code = 404
+    reason = "NotFound"
+
+
+class ConflictError(ApiError):
+    """The update conflicts with the stored resourceVersion (HTTP 409)."""
+
+    status_code = 409
+    reason = "Conflict"
+
+
+class AlreadyExistsError(ApiError):
+    """A resource with the same name already exists (HTTP 409)."""
+
+    status_code = 409
+    reason = "AlreadyExists"
+
+
+class ForbiddenError(ApiError):
+    """The request was rejected by admission control (HTTP 403)."""
+
+    status_code = 403
+    reason = "Forbidden"
+
+
+class ServerUnavailableError(ApiError):
+    """The data store is unavailable (no quorum or space alarm) (HTTP 503)."""
+
+    status_code = 503
+    reason = "ServiceUnavailable"

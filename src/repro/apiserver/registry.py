@@ -1,0 +1,57 @@
+"""Storage key layout for API objects.
+
+Objects are stored under ``/registry/<plural>/<namespace>/<name>`` for
+namespaced kinds and ``/registry/<plural>/<name>`` for cluster-scoped kinds,
+mirroring the layout Kubernetes uses in etcd.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.objects.kinds import KINDS
+
+
+class UnknownKindError(ValueError):
+    """Raised when a request refers to a kind the registry does not know."""
+
+
+def kind_info(kind: str) -> dict:
+    """Return the registry entry for ``kind``; raise if unknown."""
+    info = KINDS.get(kind)
+    if info is None:
+        raise UnknownKindError(f"unknown resource kind {kind!r}")
+    return info
+
+
+def is_namespaced(kind: str) -> bool:
+    """True if the kind lives inside a namespace."""
+    return bool(kind_info(kind)["namespaced"])
+
+
+def storage_prefix(kind: str) -> str:
+    """Return the etcd key prefix under which all instances of ``kind`` live."""
+    return f"/registry/{kind_info(kind)['plural']}/"
+
+
+def storage_key(kind: str, namespace: Optional[str], name: str) -> str:
+    """Return the etcd key for a specific resource instance."""
+    info = kind_info(kind)
+    if info["namespaced"]:
+        namespace = namespace if namespace else "default"
+        return f"/registry/{info['plural']}/{namespace}/{name}"
+    return f"/registry/{info['plural']}/{name}"
+
+
+def kind_from_key(key: str) -> Optional[str]:
+    """Return the kind stored at ``key``, or None if the key is not a registry key."""
+    if not key.startswith("/registry/"):
+        return None
+    parts = key.split("/")
+    if len(parts) < 4:
+        return None
+    plural = parts[2]
+    for kind, info in KINDS.items():
+        if info["plural"] == plural:
+            return kind
+    return None

@@ -1,0 +1,238 @@
+"""The Apiserver validation layer.
+
+The paper's propagation experiments (§V-C4, Table VI) show that the
+Apiserver performs *general* validations — name format, required fields,
+ranges, namespace/URL consistency, selector/template consistency — but
+cannot detect values that are syntactically valid yet semantically wrong.
+This module implements exactly that behaviour: structural checks are strict;
+"valid but wrong" values (a label whose last character was flipped, a
+replica count of 17 instead of 5) sail through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.apiserver.errors import InvalidObjectError
+from repro.objects.selectors import labels_subset
+
+#: RFC 1123 DNS label: what Kubernetes requires of most object names.
+_DNS1123_RE = re.compile(r"^[a-z0-9]([-a-z0-9]*[a-z0-9])?$")
+_LABEL_VALUE_RE = re.compile(r"^[A-Za-z0-9]([-A-Za-z0-9_.]*[A-Za-z0-9])?$|^$")
+
+#: The largest replica count the Apiserver accepts; corrupt values beyond it
+#: are caught, smaller wrong values are not.
+MAX_REPLICAS = 10_000
+
+
+class ValidationResult:
+    """Outcome of validating an object: either ok or a list of reasons."""
+
+    def __init__(self):
+        self.errors: list[str] = []
+
+    def add(self, message: str) -> None:
+        self.errors.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise InvalidObjectError("; ".join(self.errors))
+
+
+def _valid_name(name) -> bool:
+    return isinstance(name, str) and 0 < len(name) <= 253 and bool(_DNS1123_RE.match(name))
+
+
+def _valid_label_map(labels) -> bool:
+    if not isinstance(labels, dict):
+        return False
+    for key, value in labels.items():
+        if not isinstance(key, str) or not key:
+            return False
+        if not isinstance(value, str) or not _LABEL_VALUE_RE.match(value):
+            return False
+    return True
+
+
+def validate_metadata(obj: dict, expected_namespace: Optional[str], result: ValidationResult) -> None:
+    """Validate the metadata section common to every kind."""
+    metadata = obj.get("metadata")
+    if not isinstance(metadata, dict):
+        result.add("metadata: missing or not an object")
+        return
+    name = metadata.get("name")
+    if not _valid_name(name):
+        result.add(f"metadata.name: invalid name {name!r}")
+    namespace = metadata.get("namespace")
+    if expected_namespace is not None and namespace != expected_namespace:
+        # The namespace in the body must match the namespace in the request
+        # URL; this is one of the checks the paper found effective.
+        result.add(
+            f"metadata.namespace: body namespace {namespace!r} does not match "
+            f"request namespace {expected_namespace!r}"
+        )
+    labels = metadata.get("labels", {})
+    if labels and not _valid_label_map(labels):
+        result.add("metadata.labels: invalid label map")
+    owner_refs = metadata.get("ownerReferences", [])
+    if owner_refs is not None and not isinstance(owner_refs, list):
+        result.add("metadata.ownerReferences: not a list")
+
+
+def _validate_workload_selector(obj: dict, result: ValidationResult) -> None:
+    """Check that a workload controller's selector matches its pod template.
+
+    This is the validation that, per the paper, prevents the infinite-Pod-
+    spawn pattern from being introduced through the Apiserver request path
+    (though not when the value is corrupted after validation, on the way to
+    etcd).
+    """
+    spec = obj.get("spec")
+    if not isinstance(spec, dict):
+        result.add("spec: missing or not an object")
+        return
+    selector = spec.get("selector")
+    if not isinstance(selector, dict) or not selector.get("matchLabels"):
+        result.add("spec.selector: missing matchLabels")
+        return
+    template = spec.get("template")
+    if not isinstance(template, dict):
+        result.add("spec.template: missing")
+        return
+    template_meta = template.get("metadata", {})
+    template_labels = template_meta.get("labels", {}) if isinstance(template_meta, dict) else {}
+    match_labels = selector.get("matchLabels", {})
+    if not isinstance(match_labels, dict) or not isinstance(template_labels, dict):
+        result.add("spec.selector: malformed matchLabels or template labels")
+        return
+    if not labels_subset(match_labels, template_labels):
+        result.add("spec.selector: selector does not match template labels")
+
+
+def _validate_replicas(obj: dict, result: ValidationResult) -> None:
+    spec = obj.get("spec")
+    if not isinstance(spec, dict):
+        return
+    replicas = spec.get("replicas")
+    if replicas is None:
+        return
+    if not isinstance(replicas, int) or isinstance(replicas, bool):
+        result.add(f"spec.replicas: not an integer ({replicas!r})")
+    elif replicas < 0:
+        result.add(f"spec.replicas: negative ({replicas})")
+    elif replicas > MAX_REPLICAS:
+        result.add(f"spec.replicas: {replicas} exceeds maximum {MAX_REPLICAS}")
+
+
+def _validate_containers(spec: dict, path: str, result: ValidationResult) -> None:
+    containers = spec.get("containers")
+    if not isinstance(containers, list) or not containers:
+        result.add(f"{path}.containers: at least one container is required")
+        return
+    for index, container in enumerate(containers):
+        if not isinstance(container, dict):
+            result.add(f"{path}.containers[{index}]: not an object")
+            continue
+        if not container.get("name"):
+            result.add(f"{path}.containers[{index}].name: required")
+        image = container.get("image")
+        if not isinstance(image, str) or not image:
+            result.add(f"{path}.containers[{index}].image: required")
+        ports = container.get("ports", [])
+        if isinstance(ports, list):
+            for port_entry in ports:
+                if not isinstance(port_entry, dict):
+                    continue
+                port = port_entry.get("containerPort")
+                if port is not None and (
+                    not isinstance(port, int) or isinstance(port, bool) or not 0 < port < 65536
+                ):
+                    result.add(f"{path}.containers[{index}].ports: invalid port {port!r}")
+
+
+def _validate_pod(obj: dict, result: ValidationResult) -> None:
+    spec = obj.get("spec")
+    if not isinstance(spec, dict):
+        result.add("spec: missing or not an object")
+        return
+    _validate_containers(spec, "spec", result)
+    node_name = spec.get("nodeName")
+    if node_name is not None and not isinstance(node_name, str):
+        result.add("spec.nodeName: not a string")
+    priority = spec.get("priority", 0)
+    if priority is not None and (not isinstance(priority, int) or isinstance(priority, bool)):
+        result.add("spec.priority: not an integer")
+
+
+def _validate_service(obj: dict, result: ValidationResult) -> None:
+    spec = obj.get("spec")
+    if not isinstance(spec, dict):
+        result.add("spec: missing or not an object")
+        return
+    selector = spec.get("selector")
+    if selector is not None and not isinstance(selector, dict):
+        result.add("spec.selector: not a map")
+    ports = spec.get("ports")
+    if not isinstance(ports, list) or not ports:
+        result.add("spec.ports: at least one port is required")
+        return
+    for index, entry in enumerate(ports):
+        if not isinstance(entry, dict):
+            result.add(f"spec.ports[{index}]: not an object")
+            continue
+        for key in ("port", "targetPort"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or not 0 < value < 65536:
+                result.add(f"spec.ports[{index}].{key}: invalid port {value!r}")
+
+
+def _validate_node(obj: dict, result: ValidationResult) -> None:
+    status = obj.get("status")
+    if status is None:
+        return
+    if not isinstance(status, dict):
+        result.add("status: not an object")
+        return
+    conditions = status.get("conditions")
+    if conditions is not None and not isinstance(conditions, list):
+        result.add("status.conditions: not a list")
+
+
+def _validate_workload(obj: dict, result: ValidationResult) -> None:
+    _validate_workload_selector(obj, result)
+    _validate_replicas(obj, result)
+    spec = obj.get("spec")
+    if isinstance(spec, dict):
+        template = spec.get("template")
+        if isinstance(template, dict) and isinstance(template.get("spec"), dict):
+            _validate_containers(template["spec"], "spec.template.spec", result)
+
+
+_KIND_VALIDATORS = {
+    "Pod": _validate_pod,
+    "ReplicaSet": _validate_workload,
+    "Deployment": _validate_workload,
+    "DaemonSet": _validate_workload,
+    "Service": _validate_service,
+    "Node": _validate_node,
+}
+
+
+def validate_object(kind: str, obj: dict, expected_namespace: Optional[str] = None) -> ValidationResult:
+    """Run the validation chain for an object of the given kind."""
+    result = ValidationResult()
+    if not isinstance(obj, dict):
+        result.add("object: not a map")
+        return result
+    if obj.get("kind") != kind:
+        result.add(f"kind: expected {kind!r}, got {obj.get('kind')!r}")
+    validate_metadata(obj, expected_namespace, result)
+    validator = _KIND_VALIDATORS.get(kind)
+    if validator is not None:
+        validator(obj, result)
+    return result

@@ -1,0 +1,11 @@
+"""Cluster assembly.
+
+Wires the substrates into a running simulated cluster equivalent to the
+paper's testbed: one (or three) control-plane nodes, four worker nodes, the
+default system workloads (network-manager DaemonSet, coreDNS Deployment and
+Service), and all component loops started.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+__all__ = ["Cluster", "ClusterConfig"]

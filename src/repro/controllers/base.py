@@ -1,0 +1,82 @@
+"""Base class shared by all controllers.
+
+A controller is a level-triggered reconciliation loop: ``sync()`` observes
+the current state through the API client, compares it with the desired
+state, and issues writes to converge the two.  Failures are absorbed — the
+loop retries on the next sync with per-key exponential backoff — because a
+controller crash-looping on one bad object must not take out reconciliation
+of every other object (failure isolation, paper §II-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apiserver.client import APIClient
+from repro.apiserver.errors import ApiError
+from repro.controllers.workqueue import RateLimitedQueue
+from repro.sim.engine import Simulation
+
+
+class Controller:
+    """Base reconciliation loop."""
+
+    #: Human-readable controller name, used in logs and statistics.
+    name = "controller"
+
+    def __init__(self, sim: Simulation, client: APIClient):
+        self.sim = sim
+        self.client = client
+        self.sync_count = 0
+        self.error_count = 0
+        self.actions = 0
+        self._backoff = RateLimitedQueue(base_delay=1.0, max_delay=30.0)
+        self._skip_until: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ hooks
+
+    def sync(self) -> None:
+        """Run one reconciliation pass.  Subclasses override :meth:`reconcile_all`."""
+        self.sync_count += 1
+        try:
+            self.reconcile_all()
+        except ApiError:
+            # A failing list/read (apiserver unhealthy, etcd stalled) aborts the
+            # pass; the next periodic sync retries.
+            self.error_count += 1
+
+    def reconcile_all(self) -> None:
+        """Reconcile every object the controller is responsible for."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- utilities
+
+    def key_backoff_active(self, key: str) -> bool:
+        """True if reconciliation of ``key`` is currently backed off."""
+        return self._skip_until.get(key, 0.0) > self.sim.now
+
+    def record_key_failure(self, key: str) -> None:
+        """Record a reconcile failure for ``key`` and extend its backoff."""
+        self.error_count += 1
+        delay = self._backoff.add_after_failure(key, self.sim.now)
+        self._skip_until[key] = self.sim.now + delay
+
+    def record_key_success(self, key: str) -> None:
+        """Clear backoff state for ``key`` after a successful reconcile."""
+        self._backoff.forget(key)
+        self._skip_until.pop(key, None)
+
+    def safe_int(self, value, default: int = 0) -> int:
+        """Interpret a possibly-corrupted integer field."""
+        if isinstance(value, bool) or not isinstance(value, int):
+            return default
+        return value
+
+    def stats(self) -> dict:
+        """Return sync/error counters for this controller."""
+        return {
+            "name": self.name,
+            "syncs": self.sync_count,
+            "errors": self.error_count,
+            "actions": self.actions,
+        }

@@ -1,0 +1,77 @@
+"""Rate-limited work queue with exponential backoff.
+
+Controllers do not act on every watch event immediately: keys are queued,
+deduplicated, and retried with exponential backoff when reconciliation fails.
+The backoff is one of the circuit breakers the paper lists among Kubernetes'
+resiliency strategies — it slows down, but does not stop, a reconciliation
+loop that keeps failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class _QueueEntry:
+    key: str
+    not_before: float = 0.0
+
+
+class RateLimitedQueue:
+    """FIFO of reconcile keys with per-key exponential backoff."""
+
+    def __init__(self, base_delay: float = 0.1, max_delay: float = 60.0):
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._entries: list[_QueueEntry] = []
+        self._queued: set[str] = set()
+        self._failures: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key: str, now: float = 0.0) -> None:
+        """Enqueue a key for reconciliation (no-op if already queued)."""
+        if key in self._queued:
+            return
+        self._queued.add(key)
+        self._entries.append(_QueueEntry(key=key, not_before=now))
+
+    def add_after_failure(self, key: str, now: float) -> float:
+        """Re-enqueue a key that failed to reconcile; returns the backoff delay."""
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        delay = min(self.base_delay * (2 ** (failures - 1)), self.max_delay)
+        if key not in self._queued:
+            self._queued.add(key)
+            self._entries.append(_QueueEntry(key=key, not_before=now + delay))
+        return delay
+
+    def forget(self, key: str) -> None:
+        """Clear the failure count for a key after a successful reconcile."""
+        self._failures.pop(key, None)
+
+    def pop_ready(self, now: float) -> Optional[str]:
+        """Pop the first key whose backoff delay has elapsed, or None."""
+        for index, entry in enumerate(self._entries):
+            if entry.not_before <= now:
+                del self._entries[index]
+                self._queued.discard(entry.key)
+                return entry.key
+        return None
+
+    def drain_ready(self, now: float, limit: Optional[int] = None) -> list[str]:
+        """Pop every ready key (up to ``limit``)."""
+        keys = []
+        while limit is None or len(keys) < limit:
+            key = self.pop_ready(now)
+            if key is None:
+                break
+            keys.append(key)
+        return keys
+
+    def failure_count(self, key: str) -> int:
+        """Number of consecutive failures recorded for ``key``."""
+        return self._failures.get(key, 0)

@@ -1,0 +1,406 @@
+"""Fault/error injection campaign manager.
+
+The campaign follows paper §IV-C:
+
+1. record the fields of the resource instances written to etcd during a
+   golden run of each orchestration workload;
+2. generate injection experiments — for every recorded integer field a
+   low-order and a high-order bit-flip plus a zero value-set, for every
+   string field a least-significant-bit flip of the first two characters
+   plus an empty-string value-set, an inversion for every boolean, each at
+   occurrence indexes 1–3; per resource kind a batch of random
+   serialization-byte flips and message drops at occurrence indexes 1–10;
+3. drive the experiments, one injected fault per experiment, and classify
+   each run against the workload's golden baseline.
+
+The full campaign of the paper is ~8,800 experiments; the default
+configuration here subsamples the generated specs so the campaign fits in a
+benchmark run, and ``CampaignConfig.max_experiments_per_workload`` scales it
+back up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.classification import ClientFailure, GoldenBaseline, OrchestratorFailure
+from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.serialization import iter_field_paths
+from repro.sim.rng import DeterministicRNG
+from repro.workloads.workload import WorkloadKind
+
+#: Kinds whose instance names are stable across runs (user- or boot-created),
+#: so a fault spec can pin the exact instance.  Names of generated objects
+#: (Pods, ReplicaSets, …) vary, so their specs match any instance of the kind.
+PINNED_KINDS = frozenset(
+    {"Deployment", "Service", "Node", "ConfigMap", "Namespace", "DaemonSet"}
+)
+
+#: Fields that are pure bookkeeping and not injected (the paper injects the
+#: data used by orchestration operations, not the write counters themselves).
+EXCLUDED_FIELD_SUFFIXES = ("resourceVersion", "creationTimestamp", "generation")
+
+#: Top-level fields excluded from recording: the kind tag is the message type,
+#: not data used by orchestration operations.
+EXCLUDED_FIELD_PATHS = frozenset({"kind"})
+
+
+@dataclass
+class RecordedField:
+    """One field observed in a golden-run Apiserver→etcd message."""
+
+    kind: str
+    name: str
+    namespace: Optional[str]
+    path: str
+    value_type: str
+    example_value: Any
+
+
+class FieldRecorder:
+    """Observer hook that records fields written to etcd during a golden run."""
+
+    def __init__(self):
+        self.fields: dict[tuple[str, str], RecordedField] = {}
+        self.kinds_seen: set[str] = set()
+        self.messages_per_kind: dict[str, int] = {}
+
+    def __call__(self, context, data: bytes) -> None:
+        from repro.serialization import DecodeError, decode
+
+        self.kinds_seen.add(context.kind)
+        self.messages_per_kind[context.kind] = self.messages_per_kind.get(context.kind, 0) + 1
+        try:
+            obj = decode(data)
+        except DecodeError:
+            return
+        for record in iter_field_paths(obj):
+            if record.value_type not in ("int", "str", "bool"):
+                continue
+            if record.path.endswith(EXCLUDED_FIELD_SUFFIXES) or record.path in EXCLUDED_FIELD_PATHS:
+                continue
+            key = (context.kind, record.path)
+            if key in self.fields:
+                continue
+            self.fields[key] = RecordedField(
+                kind=context.kind,
+                name=context.name,
+                namespace=context.namespace,
+                path=record.path,
+                value_type=record.value_type,
+                example_value=record.value,
+            )
+
+    def recorded(self) -> list[RecordedField]:
+        """All recorded fields in a stable order."""
+        return [self.fields[key] for key in sorted(self.fields)]
+
+
+@dataclass
+class CampaignConfig:
+    """Sizing of the campaign."""
+
+    #: Workloads to run (defaults to all three).
+    workloads: tuple[WorkloadKind, ...] = (
+        WorkloadKind.DEPLOY,
+        WorkloadKind.SCALE_UP,
+        WorkloadKind.FAILOVER,
+    )
+    #: Golden runs per workload used to build the classification baseline.
+    golden_runs: int = 3
+    #: Occurrence indexes for field-level injections (paper: 1, 2, 3).
+    occurrences: tuple[int, ...] = (1, 2, 3)
+    #: Occurrence indexes for message drops (paper: 1..10).
+    drop_occurrences: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+    #: Random serialization-byte injections per resource kind.
+    proto_byte_injections_per_kind: int = 2
+    #: Cap on the number of experiments actually run per workload
+    #: (None = run the full generated campaign, paper scale).
+    max_experiments_per_workload: Optional[int] = 60
+    #: Seed controlling subsampling and proto-byte positions.
+    seed: int = 7
+    #: Experiment timing/sizing.
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+
+
+@dataclass
+class PlannedExperiment:
+    """One (workload, fault) pair scheduled for execution."""
+
+    workload: WorkloadKind
+    fault: FaultSpec
+
+
+@dataclass
+class CampaignResult:
+    """All results of a campaign, with the aggregations the tables need."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    baselines: dict[str, GoldenBaseline] = field(default_factory=dict)
+    recorded_fields: dict[str, list[RecordedField]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ aggregates
+
+    @staticmethod
+    def injection_family(fault: Optional[FaultSpec]) -> str:
+        """Map a fault spec onto the paper's three injection families."""
+        if fault is None:
+            return "golden"
+        if fault.fault_type in (FaultType.BIT_FLIP, FaultType.PROTO_BYTE_FLIP):
+            return "Bit-flip"
+        if fault.fault_type is FaultType.DATA_TYPE_SET:
+            return "Value set"
+        return "Drop"
+
+    def of_counts(self) -> dict[tuple[str, str], dict[str, int]]:
+        """(workload, injection family) -> counts per orchestrator failure (Table IV)."""
+        table: dict[tuple[str, str], dict[str, int]] = {}
+        for result in self.results:
+            key = (result.workload.value, self.injection_family(result.fault))
+            row = table.setdefault(key, {failure.value: 0 for failure in OrchestratorFailure})
+            if result.orchestrator_failure is not None:
+                row[result.orchestrator_failure.value] += 1
+        return table
+
+    def cf_counts(self) -> dict[tuple[str, str], dict[str, int]]:
+        """(workload, injection family) -> counts per client failure (Table V)."""
+        table: dict[tuple[str, str], dict[str, int]] = {}
+        for result in self.results:
+            key = (result.workload.value, self.injection_family(result.fault))
+            row = table.setdefault(key, {failure.value: 0 for failure in ClientFailure})
+            if result.client_failure is not None:
+                row[result.client_failure.value] += 1
+        return table
+
+    def of_cf_matrix(self, workload: Optional[WorkloadKind] = None) -> dict[str, dict[str, int]]:
+        """OF -> CF counts (Table III), optionally restricted to one workload."""
+        matrix: dict[str, dict[str, int]] = {
+            of.value: {cf.value: 0 for cf in ClientFailure} for of in OrchestratorFailure
+        }
+        for result in self.results:
+            if workload is not None and result.workload != workload:
+                continue
+            if result.orchestrator_failure is None or result.client_failure is None:
+                continue
+            matrix[result.orchestrator_failure.value][result.client_failure.value] += 1
+        return matrix
+
+    def critical_results(self) -> list[ExperimentResult]:
+        """Experiments that caused Out, Sta, or a service-unreachable client failure."""
+        critical = []
+        for result in self.results:
+            if result.orchestrator_failure in (OrchestratorFailure.STA, OrchestratorFailure.OUT):
+                critical.append(result)
+            elif result.client_failure == ClientFailure.SU:
+                critical.append(result)
+        return critical
+
+    def activation_rate(self) -> float:
+        """Fraction of injected experiments whose target was used afterwards."""
+        injected = [result for result in self.results if result.injected]
+        if not injected:
+            return 0.0
+        return sum(1 for result in injected if result.activated) / len(injected)
+
+    def total_experiments(self) -> int:
+        """Number of injection experiments run."""
+        return len(self.results)
+
+
+class Campaign:
+    """Generates and runs a fault/error injection campaign."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None):
+        self.config = config if config is not None else CampaignConfig()
+        self.runner = ExperimentRunner(self.config.experiment)
+        self.rng = DeterministicRNG(self.config.seed)
+
+    # -------------------------------------------------------------- recording
+
+    def record_fields(self, workload: WorkloadKind, seed: int = 50) -> list[RecordedField]:
+        """Record the fields written to etcd during a golden run of ``workload``."""
+        recorder = FieldRecorder()
+        self.runner.run_golden(workload, seed=seed, etcd_observer=recorder)
+        return recorder.recorded()
+
+    # ------------------------------------------------------------- generation
+
+    def generate(self, recorded: list[RecordedField]) -> list[FaultSpec]:
+        """Generate the full set of fault specs for one workload (§IV-C rules)."""
+        specs: list[FaultSpec] = []
+        kinds = sorted({record.kind for record in recorded})
+
+        for record in recorded:
+            name = record.name if record.kind in PINNED_KINDS else None
+            namespace = record.namespace if record.kind in PINNED_KINDS else None
+            for occurrence in self.config.occurrences:
+                specs.extend(
+                    self._field_specs(record, name, namespace, occurrence)
+                )
+
+        for kind in kinds:
+            for index in range(self.config.proto_byte_injections_per_kind):
+                specs.append(
+                    FaultSpec(
+                        channel=InjectionChannel.APISERVER_TO_ETCD,
+                        kind=kind,
+                        fault_type=FaultType.PROTO_BYTE_FLIP,
+                        bit_index=self.rng.randint(f"proto-{kind}-{index}", 0, 4095),
+                        occurrence=1,
+                    )
+                )
+            for occurrence in self.config.drop_occurrences:
+                specs.append(
+                    FaultSpec(
+                        channel=InjectionChannel.APISERVER_TO_ETCD,
+                        kind=kind,
+                        fault_type=FaultType.MESSAGE_DROP,
+                        occurrence=occurrence,
+                    )
+                )
+        return specs
+
+    def _field_specs(
+        self, record: RecordedField, name, namespace, occurrence: int
+    ) -> list[FaultSpec]:
+        common = {
+            "channel": InjectionChannel.APISERVER_TO_ETCD,
+            "kind": record.kind,
+            "field_path": record.path,
+            "name": name,
+            "namespace": namespace,
+            "occurrence": occurrence,
+        }
+        if record.value_type == "int":
+            return [
+                FaultSpec(fault_type=FaultType.BIT_FLIP, bit_index=0, **common),
+                FaultSpec(fault_type=FaultType.BIT_FLIP, bit_index=4, **common),
+                FaultSpec(fault_type=FaultType.DATA_TYPE_SET, set_value=0, **common),
+            ]
+        if record.value_type == "str":
+            return [
+                FaultSpec(fault_type=FaultType.BIT_FLIP, bit_index=0, **common),
+                FaultSpec(fault_type=FaultType.BIT_FLIP, bit_index=1, **common),
+                FaultSpec(fault_type=FaultType.DATA_TYPE_SET, set_value="", **common),
+            ]
+        if record.value_type == "bool":
+            return [FaultSpec(fault_type=FaultType.BIT_FLIP, bit_index=0, **common)]
+        return []
+
+    def plan(self, workload: WorkloadKind, recorded: list[RecordedField]) -> list[PlannedExperiment]:
+        """Generate and (if configured) subsample the experiments for one workload.
+
+        Subsampling is stratified over the three injection families so that a
+        small campaign still exercises bit-flips, value-sets and message drops
+        in roughly the proportions of the full campaign.
+        """
+        specs = self.generate(recorded)
+        limit = self.config.max_experiments_per_workload
+        if limit is None or len(specs) <= limit:
+            return [PlannedExperiment(workload=workload, fault=spec) for spec in specs]
+
+        families: dict[str, list[FaultSpec]] = {}
+        for spec in specs:
+            families.setdefault(CampaignResult.injection_family(spec), []).append(spec)
+        chosen: list[FaultSpec] = []
+        family_names = sorted(families)
+        # Guarantee a minimum presence of every family, then fill proportionally.
+        minimum = min(2, limit // max(len(family_names), 1))
+        for name in family_names:
+            shuffled = self.rng.shuffle(f"subsample-{workload.value}-{name}", families[name])
+            families[name] = shuffled
+            chosen.extend(shuffled[:minimum])
+        remaining = limit - len(chosen)
+        if remaining > 0:
+            pool = []
+            for name in family_names:
+                pool.extend(families[name][minimum:])
+            pool = self.rng.shuffle(f"subsample-{workload.value}-rest", pool)
+            chosen.extend(pool[:remaining])
+        chosen = chosen[:limit]
+        return [PlannedExperiment(workload=workload, fault=spec) for spec in chosen]
+
+    # -------------------------------------------------------------- execution
+
+    def run(self) -> CampaignResult:
+        """Run the whole campaign and return its results."""
+        campaign_result = CampaignResult()
+        experiment_seed = 1000
+        for workload in self.config.workloads:
+            baseline = self.runner.build_baseline(workload, runs=self.config.golden_runs)
+            campaign_result.baselines[workload.value] = baseline
+            recorded = self.record_fields(workload)
+            campaign_result.recorded_fields[workload.value] = recorded
+            for planned in self.plan(workload, recorded):
+                experiment_seed += 1
+                result = self.runner.run_experiment(
+                    planned.workload, planned.fault, baseline=baseline, seed=experiment_seed
+                )
+                campaign_result.results.append(result)
+        return campaign_result
+
+    # ---------------------------------------------------- propagation (VI-C4)
+
+    def run_propagation(
+        self,
+        components: tuple[str, ...] = ("kube-controller-manager", "kube-scheduler", "kubelet"),
+        fields_per_component: int = 10,
+    ) -> list[dict]:
+        """Run the Table VI propagation experiments.
+
+        Bit-flips are injected into the messages the given components send to
+        the Apiserver; each row reports whether the corrupted value propagated
+        to etcd (the request was accepted) or an error was logged.
+        """
+        rows = []
+        experiment_seed = 9000
+        for workload in self.config.workloads:
+            recorded = self.record_fields(workload, seed=60)
+            for component in components:
+                relevant = [
+                    record
+                    for record in recorded
+                    if record.kind in self._component_kinds(component)
+                ][:fields_per_component]
+                injections = 0
+                propagated = 0
+                errors = 0
+                for record in relevant:
+                    experiment_seed += 1
+                    spec = FaultSpec(
+                        channel=InjectionChannel.COMPONENT_TO_APISERVER,
+                        kind=record.kind,
+                        field_path=record.path,
+                        component=component,
+                        fault_type=FaultType.BIT_FLIP,
+                        bit_index=0,
+                        occurrence=1,
+                    )
+                    result = self.runner.run_experiment(workload, spec, seed=experiment_seed)
+                    if not result.injected:
+                        continue
+                    injections += 1
+                    if result.component_error_count > 0:
+                        errors += 1
+                    else:
+                        propagated += 1
+                rows.append(
+                    {
+                        "workload": workload.value,
+                        "component": component,
+                        "injections": injections,
+                        "propagated": propagated,
+                        "errors": errors,
+                    }
+                )
+        return rows
+
+    @staticmethod
+    def _component_kinds(component: str) -> set[str]:
+        if component == "kube-controller-manager":
+            return {"Pod", "ReplicaSet", "Deployment", "DaemonSet", "Endpoints", "Node"}
+        if component == "kube-scheduler":
+            return {"Pod"}
+        return {"Pod", "Node", "Lease"}

@@ -1,0 +1,469 @@
+"""Field Failure Data Analysis (FFDA) of real-world Kubernetes incidents.
+
+Paper §III analyses 81 real-world failure reports and derives the
+fault → error → failure chain of Table I.  The raw blog posts are not
+redistributable, so this module encodes the *structured* dataset the paper
+reports: the taxonomy (fault, error and failure categories with their
+subcategories), one coded record per incident consistent with every count
+the paper gives (33 misconfigurations, 15 outages, 13 incidents involving
+bugs, 21 capacity-related failures, 19 communication errors, 10 bad resource
+sizing incidents, …), and the Mutiny coverage map of Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class FaultCategory(Enum):
+    """Fault categories of Table I(a)."""
+
+    WRONG_AUTOSCALE_TRIGGER = "Wrong Autoscale Trigger"
+    RACE_CONDITION = "Race Condition"
+    UNVERIFIABLE_CERTIFICATE = "Unverifiable Certificate"
+    BUG = "Bug"
+    HUMAN_MISTAKE = "Human Mistake"
+    UNMANAGED_UPGRADE = "Unmanaged Upgrade"
+    OVERLOAD = "Overload"
+    LOW_LEVEL_ISSUES = "Low-Level Issues"
+    FAILING_APPLICATION = "Failing Application"
+
+
+class ErrorCategory(Enum):
+    """Error categories of Table I(b)."""
+
+    STATE_RETRIEVAL = "State Retrieval"
+    MISBEHAVING_LOGIC = "Misbehaving Logic"
+    COMMUNICATION = "Communication"
+    RESOURCE_EXHAUSTION = "Resource Exhaustion"
+    CONTROL_PLANE_AVAILABILITY = "Control Plane Availability"
+    LOCAL_TO_WORKER_NODES = "Local to Worker Nodes"
+
+
+class FailureCategory(Enum):
+    """Failure categories of Table I(c), in order of increasing severity."""
+
+    NONE = "No"
+    TIMING = "Tim"
+    LESS_RESOURCES = "LeR"
+    MORE_RESOURCES = "MoR"
+    SERVICE_NETWORK = "Net"
+    STALL = "Sta"
+    CLUSTER_OUTAGE = "Out"
+
+
+#: Error subcategories per category (Table VII, upper half).  Subcategories
+#: in ``MUTINY_REPLICABLE_ERRORS`` are the ones the paper marks in bold
+#: (Mutiny can replicate them); ``MUTINY_ONLY_ERRORS`` are italic (triggered
+#: by Mutiny but not observed in the real-world reports).
+ERROR_SUBCATEGORIES: dict[ErrorCategory, tuple[str, ...]] = {
+    ErrorCategory.STATE_RETRIEVAL: (
+        "State corrupted",
+        "State erased",
+        "State stale",
+        "State unretrievable",
+    ),
+    ErrorCategory.MISBEHAVING_LOGIC: (
+        "Wrong label",
+        "Wrong replica value",
+        "Request rejected",
+        "Lost update",
+        "Controller loop not executed",
+        "Relationship broken",
+    ),
+    ErrorCategory.COMMUNICATION: (
+        "Connection delay",
+        "Wrong IP address",
+        "DNS resolution delay",
+        "DNS not resolving",
+        "Uneven load balancing",
+        "Endpoint delete after Pod kill",
+        "Routes dropped",
+        "New Nodes' routes not configured",
+        "Routes not updated",
+    ),
+    ErrorCategory.RESOURCE_EXHAUSTION: (
+        "Overcrowding",
+        "Cluster out of resources",
+        "Worker nodes cannot join",
+        "Worker nodes unhealthy",
+    ),
+    ErrorCategory.CONTROL_PLANE_AVAILABILITY: (
+        "CP Pods crash loop",
+        "CP Pods hang",
+        "CP Pods deleted",
+        "CP overload",
+    ),
+    ErrorCategory.LOCAL_TO_WORKER_NODES: (
+        "Kubelet delayed",
+        "Container runtime failure",
+        "Pods not ready",
+        "Image Pull Error",
+        "Slow/throttling",
+    ),
+}
+
+#: Failure subcategories per category (Table VII, lower half).
+FAILURE_SUBCATEGORIES: dict[FailureCategory, tuple[str, ...]] = {
+    FailureCategory.CLUSTER_OUTAGE: (
+        "Cluster-wide networking drop",
+        "Cluster-wide networking intermittent",
+        "Massive Service Deletion",
+        "DNS resolution failure",
+    ),
+    FailureCategory.STALL: (
+        "Control Plane stuck",
+        "Control Plane slow",
+        "Control Plane quorum unreachable",
+        "New Services network not configurable",
+        "New Nodes network not reconfigurable",
+    ),
+    FailureCategory.SERVICE_NETWORK: (
+        "Service Networking Drop Permanent",
+        "Service Networking Drop Intermittent",
+        "Service Networking Delay",
+    ),
+    FailureCategory.MORE_RESOURCES: (
+        "Pods not deleted",
+        "Too many Pods created",
+        "More Pods Transient",
+        "More Resources Per Pod",
+    ),
+    FailureCategory.LESS_RESOURCES: (
+        "Pods deleted",
+        "Pods not created",
+        "Pods crashloop",
+        "Less Resources Per Pod",
+    ),
+    FailureCategory.TIMING: (
+        "Pods' Creation Delayed",
+        "Pods Restart",
+    ),
+}
+
+#: Error subcategories Mutiny can replicate (bold in Table VII).
+MUTINY_REPLICABLE_ERRORS: frozenset[str] = frozenset(
+    {
+        "State corrupted",
+        "State erased",
+        "State stale",
+        "State unretrievable",
+        "Wrong label",
+        "Wrong replica value",
+        "Request rejected",
+        "Lost update",
+        "Controller loop not executed",
+        "Relationship broken",
+        "Wrong IP address",
+        "DNS not resolving",
+        "Uneven load balancing",
+        "Routes dropped",
+        "New Nodes' routes not configured",
+        "Routes not updated",
+        "Overcrowding",
+        "Cluster out of resources",
+        "Worker nodes cannot join",
+        "Worker nodes unhealthy",
+        "CP Pods crash loop",
+        "CP Pods hang",
+        "CP Pods deleted",
+        "CP overload",
+        "Pods not ready",
+        "Image Pull Error",
+    }
+)
+
+#: Error subcategories Mutiny cannot trigger (plain text in Table VII):
+#: they are due to local node configuration or underlying software.
+MUTINY_NOT_REPLICABLE_ERRORS: frozenset[str] = frozenset(
+    {
+        "Connection delay",
+        "DNS resolution delay",
+        "Endpoint delete after Pod kill",
+        "Kubelet delayed",
+        "Container runtime failure",
+        "Slow/throttling",
+    }
+)
+
+#: Failure subcategories Mutiny can replicate (bold in Table VII).
+MUTINY_REPLICABLE_FAILURES: frozenset[str] = frozenset(
+    {
+        "Cluster-wide networking drop",
+        "Massive Service Deletion",
+        "DNS resolution failure",
+        "Control Plane stuck",
+        "Control Plane slow",
+        "New Services network not configurable",
+        "New Nodes network not reconfigurable",
+        "Service Networking Drop Permanent",
+        "Service Networking Drop Intermittent",
+        "Pods not deleted",
+        "Too many Pods created",
+        "More Pods Transient",
+        "Pods deleted",
+        "Pods not created",
+        "Pods crashloop",
+        "Pods' Creation Delayed",
+        "Pods Restart",
+    }
+)
+
+#: Failure subcategories triggered by Mutiny but not seen in the real-world
+#: reports (italic in Table VII).
+MUTINY_ONLY_FAILURES: frozenset[str] = frozenset(
+    {
+        "More Resources Per Pod",
+        "Less Resources Per Pod",
+    }
+)
+
+
+@dataclass
+class Incident:
+    """One coded real-world failure report."""
+
+    identifier: str
+    fault: FaultCategory
+    error: ErrorCategory
+    failure: FailureCategory
+    error_subcategory: str = ""
+    failure_subcategory: str = ""
+    #: Which subsystem the fault originated in: "k8s", "plugin", "external",
+    #: "custom" (used for the misconfiguration and bug breakdowns of §III-B).
+    origin: str = "k8s"
+    #: Free-text summary.
+    summary: str = ""
+    #: Whether an etcd-level state alteration can recreate the failure pattern
+    #: (54 of the 81 incidents per §IV-A).
+    replicable_by_mutiny: bool = True
+
+
+def _build_incident_dataset() -> list[Incident]:
+    """Build the 81-incident dataset with the marginal counts of §III.
+
+    The individual blog reports are paraphrased; the categorical structure —
+    33 human mistakes (19 of Kubernetes, 3 of plugins, 11 of external
+    software; 10 of them bad resource sizing), 13 bug-related incidents
+    (5 Kubernetes, 4 external, 1 plugin, 3 custom code), 21 capacity-related
+    failures (11 from control-plane overload), 19 communication-error
+    incidents, and 15 cluster outages — matches the counts the paper reports.
+    """
+    incidents: list[Incident] = []
+    counter = 0
+
+    def add(
+        count: int,
+        fault: FaultCategory,
+        error: ErrorCategory,
+        failure: FailureCategory,
+        error_sub: str,
+        failure_sub: str,
+        origin: str,
+        summary: str,
+        replicable: bool = True,
+    ) -> None:
+        nonlocal counter
+        for _ in range(count):
+            counter += 1
+            incidents.append(
+                Incident(
+                    identifier=f"incident-{counter:02d}",
+                    fault=fault,
+                    error=error,
+                    failure=failure,
+                    error_subcategory=error_sub,
+                    failure_subcategory=failure_sub,
+                    origin=origin,
+                    summary=summary,
+                    replicable_by_mutiny=replicable,
+                )
+            )
+
+    # --- Human mistakes (33 incidents; 19 K8s / 3 plugin / 11 external). ----
+    # Bad resource sizing (10): too few resources → app failed; too many →
+    # node overload.
+    add(5, FaultCategory.HUMAN_MISTAKE, ErrorCategory.RESOURCE_EXHAUSTION,
+        FailureCategory.LESS_RESOURCES, "Cluster out of resources", "Less Resources Per Pod",
+        "k8s", "Services sized with too few resources; applications failed")
+    add(5, FaultCategory.HUMAN_MISTAKE, ErrorCategory.RESOURCE_EXHAUSTION,
+        FailureCategory.MORE_RESOURCES, "Overcrowding", "More Resources Per Pod",
+        "k8s", "Services sized with too many resources; nodes overloaded")
+    # Erroneous commands deleting namespaces / clusters / etcd data.
+    add(3, FaultCategory.HUMAN_MISTAKE, ErrorCategory.STATE_RETRIEVAL,
+        FailureCategory.CLUSTER_OUTAGE, "State erased", "Massive Service Deletion",
+        "k8s", "Namespace/cluster/etcd data deleted by mistake")
+    # Misconfigured networking / DNS settings.
+    add(4, FaultCategory.HUMAN_MISTAKE, ErrorCategory.COMMUNICATION,
+        FailureCategory.SERVICE_NETWORK, "DNS not resolving", "Service Networking Drop Permanent",
+        "external", "Misconfigured DNS or network settings")
+    add(3, FaultCategory.HUMAN_MISTAKE, ErrorCategory.COMMUNICATION,
+        FailureCategory.STALL, "Routes not updated", "New Services network not configurable",
+        "plugin", "Misconfigured CNI plugin settings")
+    # Misconfigured control plane / admission settings overloading the CP.
+    add(5, FaultCategory.HUMAN_MISTAKE, ErrorCategory.CONTROL_PLANE_AVAILABILITY,
+        FailureCategory.STALL, "CP overload", "Control Plane slow",
+        "k8s", "Bad control-plane configuration caused reconciliation lag")
+    # Misconfigured workloads (labels/selectors/quotas).
+    add(4, FaultCategory.HUMAN_MISTAKE, ErrorCategory.MISBEHAVING_LOGIC,
+        FailureCategory.LESS_RESOURCES, "Wrong label", "Pods not created",
+        "k8s", "Wrong labels or selectors left services underprovisioned")
+    add(2, FaultCategory.HUMAN_MISTAKE, ErrorCategory.MISBEHAVING_LOGIC,
+        FailureCategory.MORE_RESOURCES, "Wrong replica value", "Too many Pods created",
+        "k8s", "Wrong replica values overprovisioned services")
+    add(2, FaultCategory.HUMAN_MISTAKE, ErrorCategory.STATE_RETRIEVAL,
+        FailureCategory.STALL, "State stale", "Control Plane stuck",
+        "external", "Stale state after misconfigured backup/restore")
+
+    # --- Bugs (13 incidents: 5 K8s, 4 external, 1 plugin, 3 custom). --------
+    add(3, FaultCategory.BUG, ErrorCategory.MISBEHAVING_LOGIC,
+        FailureCategory.STALL, "Controller loop not executed", "Control Plane stuck",
+        "k8s", "Kubernetes controller bug halted reconciliation")
+    add(2, FaultCategory.BUG, ErrorCategory.STATE_RETRIEVAL,
+        FailureCategory.TIMING, "State stale", "Pods' Creation Delayed",
+        "k8s", "Stale cache served by a buggy component")
+    add(4, FaultCategory.BUG, ErrorCategory.LOCAL_TO_WORKER_NODES,
+        FailureCategory.LESS_RESOURCES, "Container runtime failure", "Pods crashloop",
+        "external", "OS/runtime bug crashed containers", False)
+    add(1, FaultCategory.BUG, ErrorCategory.COMMUNICATION,
+        FailureCategory.SERVICE_NETWORK, "Uneven load balancing", "Service Networking Delay",
+        "plugin", "CNI plugin bug skewed load balancing")
+    add(3, FaultCategory.BUG, ErrorCategory.MISBEHAVING_LOGIC,
+        FailureCategory.MORE_RESOURCES, "Relationship broken", "Pods not deleted",
+        "custom", "Custom controller bug leaked pods")
+
+    # --- Capacity / overload (part of the 21 capacity-related failures). ----
+    add(6, FaultCategory.OVERLOAD, ErrorCategory.CONTROL_PLANE_AVAILABILITY,
+        FailureCategory.STALL, "CP overload", "Control Plane slow",
+        "k8s", "Too many objects/events overloaded the control plane")
+    add(3, FaultCategory.FAILING_APPLICATION, ErrorCategory.CONTROL_PLANE_AVAILABILITY,
+        FailureCategory.STALL, "CP overload", "Control Plane slow",
+        "custom", "Failing application flooded the control plane with events")
+    add(1, FaultCategory.WRONG_AUTOSCALE_TRIGGER, ErrorCategory.RESOURCE_EXHAUSTION,
+        FailureCategory.CLUSTER_OUTAGE, "Worker nodes unhealthy", "Massive Service Deletion",
+        "k8s", "Autoscaler deleted healthy nodes on misleading signals")
+    add(2, FaultCategory.OVERLOAD, ErrorCategory.RESOURCE_EXHAUSTION,
+        FailureCategory.CLUSTER_OUTAGE, "Cluster out of resources", "Massive Service Deletion",
+        "k8s", "Preemption storm from runaway pod creation terminated the running services")
+    add(5, FaultCategory.OVERLOAD, ErrorCategory.RESOURCE_EXHAUSTION,
+        FailureCategory.STALL, "Overcrowding", "Control Plane stuck",
+        "k8s", "Etcd filled up under object churn")
+
+    # --- Communication-related incidents (19 in total with the ones above). -
+    add(3, FaultCategory.RACE_CONDITION, ErrorCategory.COMMUNICATION,
+        FailureCategory.CLUSTER_OUTAGE, "Routes dropped", "Cluster-wide networking drop",
+        "external", "Race in the network manager dropped every route")
+    add(2, FaultCategory.UNVERIFIABLE_CERTIFICATE, ErrorCategory.COMMUNICATION,
+        FailureCategory.STALL, "Routes not updated", "New Nodes network not reconfigurable",
+        "k8s", "Certificate rotation broke node-to-apiserver traffic")
+    add(2, FaultCategory.UNMANAGED_UPGRADE, ErrorCategory.COMMUNICATION,
+        FailureCategory.CLUSTER_OUTAGE, "Routes dropped", "Cluster-wide networking drop",
+        "k8s", "Upgrade relabelled nodes and tore down the cluster network")
+    add(2, FaultCategory.LOW_LEVEL_ISSUES, ErrorCategory.COMMUNICATION,
+        FailureCategory.SERVICE_NETWORK, "Connection delay", "Service Networking Delay",
+        "external", "Kernel/NIC issues delayed connections", False)
+    add(2, FaultCategory.LOW_LEVEL_ISSUES, ErrorCategory.COMMUNICATION,
+        FailureCategory.CLUSTER_OUTAGE, "DNS not resolving", "DNS resolution failure",
+        "external", "DNS outage took down service discovery")
+
+    # --- Remaining incidents: upgrades, certificates, node-local problems. --
+    add(2, FaultCategory.UNMANAGED_UPGRADE, ErrorCategory.MISBEHAVING_LOGIC,
+        FailureCategory.TIMING, "Lost update", "Pods Restart",
+        "k8s", "Upgrade changed defaults and restarted workloads")
+    add(2, FaultCategory.UNVERIFIABLE_CERTIFICATE, ErrorCategory.CONTROL_PLANE_AVAILABILITY,
+        FailureCategory.CLUSTER_OUTAGE, "CP Pods hang", "Cluster-wide networking intermittent",
+        "k8s", "Webhook with expired certificate hung admissions")
+    add(2, FaultCategory.LOW_LEVEL_ISSUES, ErrorCategory.LOCAL_TO_WORKER_NODES,
+        FailureCategory.LESS_RESOURCES, "Image Pull Error", "Pods not created",
+        "external", "Registry/disk issues prevented image pulls", False)
+    add(1, FaultCategory.FAILING_APPLICATION, ErrorCategory.LOCAL_TO_WORKER_NODES,
+        FailureCategory.TIMING, "Pods not ready", "Pods Restart",
+        "custom", "Leaking application churned through restarts")
+
+    return incidents
+
+
+#: The coded real-world incident dataset (81 records).
+INCIDENTS: list[Incident] = _build_incident_dataset()
+
+
+def incident_count() -> int:
+    """Total number of coded incidents (81 in the paper)."""
+    return len(INCIDENTS)
+
+
+def count_by_fault() -> dict[str, int]:
+    """Incident counts per fault category."""
+    counts: dict[str, int] = {}
+    for incident in INCIDENTS:
+        counts[incident.fault.value] = counts.get(incident.fault.value, 0) + 1
+    return counts
+
+
+def count_by_error() -> dict[str, int]:
+    """Incident counts per error category."""
+    counts: dict[str, int] = {}
+    for incident in INCIDENTS:
+        counts[incident.error.value] = counts.get(incident.error.value, 0) + 1
+    return counts
+
+
+def count_by_failure() -> dict[str, int]:
+    """Incident counts per failure category."""
+    counts: dict[str, int] = {}
+    for incident in INCIDENTS:
+        counts[incident.failure.value] = counts.get(incident.failure.value, 0) + 1
+    return counts
+
+
+def outage_count() -> int:
+    """Number of cluster outages in the dataset (15 in the paper)."""
+    return count_by_failure().get(FailureCategory.CLUSTER_OUTAGE.value, 0)
+
+
+def misconfiguration_count() -> int:
+    """Number of human-mistake incidents (33 in the paper)."""
+    return count_by_fault().get(FaultCategory.HUMAN_MISTAKE.value, 0)
+
+
+def replicable_count() -> int:
+    """Incidents whose failure pattern Mutiny's etcd alterations can recreate."""
+    return sum(1 for incident in INCIDENTS if incident.replicable_by_mutiny)
+
+
+def coverage_table() -> dict[str, dict[str, list[tuple[str, str]]]]:
+    """Return the Table VII structure.
+
+    The result maps ``"errors"``/``"failures"`` to a mapping from category
+    name to a list of ``(subcategory, marker)`` pairs where the marker is
+    ``"replicable"`` (bold in the paper), ``"not-replicable"`` (plain) or
+    ``"mutiny-only"`` (italic).
+    """
+    errors: dict[str, list[tuple[str, str]]] = {}
+    for category, subcategories in ERROR_SUBCATEGORIES.items():
+        rows = []
+        for subcategory in subcategories:
+            if subcategory in MUTINY_REPLICABLE_ERRORS:
+                marker = "replicable"
+            elif subcategory in MUTINY_NOT_REPLICABLE_ERRORS:
+                marker = "not-replicable"
+            else:
+                marker = "mutiny-only"
+            rows.append((subcategory, marker))
+        errors[category.value] = rows
+
+    failures: dict[str, list[tuple[str, str]]] = {}
+    for category, subcategories in FAILURE_SUBCATEGORIES.items():
+        rows = []
+        for subcategory in subcategories:
+            if subcategory in MUTINY_ONLY_FAILURES:
+                marker = "mutiny-only"
+            elif subcategory in MUTINY_REPLICABLE_FAILURES:
+                marker = "replicable"
+            else:
+                marker = "not-replicable"
+            rows.append((subcategory, marker))
+        failures[category.value] = rows
+    return {"errors": errors, "failures": failures}

@@ -1,0 +1,280 @@
+"""The Mutiny injector.
+
+Every fault/error is characterized by three attributes (paper §IV-A):
+
+* **where** — the communication channel (Apiserver→etcd or a component→
+  Apiserver), the resource kind (optionally a specific instance), and either
+  a field path or the serialization bytes of the message;
+* **what** — the fault type: bit-flip, data-type set, or message drop (plus
+  serialization-byte corruption for protocol experiments);
+* **when** — the occurrence index of messages related to the targeted
+  resource instance: the injection fires on the k-th matching message.
+
+The injector is installed as a hook on the Apiserver's etcd-write path or on
+a component's API client and tampers with exactly one message per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.serialization import DecodeError, decode, encode, get_path, set_path
+
+
+class FaultType(Enum):
+    """The fault/error models supported by Mutiny."""
+
+    BIT_FLIP = "bit-flip"
+    DATA_TYPE_SET = "value-set"
+    MESSAGE_DROP = "drop"
+    PROTO_BYTE_FLIP = "proto-byte"
+
+
+class InjectionChannel(Enum):
+    """The communication channel the injection targets."""
+
+    APISERVER_TO_ETCD = "apiserver-etcd"
+    COMPONENT_TO_APISERVER = "component-apiserver"
+
+
+@dataclass
+class FaultSpec:
+    """A single fault/error to inject: the (where, what, when) triplet."""
+
+    #: where — channel, resource kind, optional instance name/namespace,
+    #: and the field path (None for message drops and protocol-byte flips).
+    channel: InjectionChannel
+    kind: str
+    field_path: Optional[str] = None
+    name: Optional[str] = None
+    namespace: Optional[str] = None
+    #: For COMPONENT_TO_APISERVER: only messages from this component match
+    #: (e.g. "kube-controller-manager", "kube-scheduler", "kubelet-worker-1").
+    component: Optional[str] = None
+
+    #: what — the fault type and its parameter.
+    fault_type: FaultType = FaultType.BIT_FLIP
+    #: BIT_FLIP on integers: which bit to flip.  BIT_FLIP on strings: which
+    #: character's least-significant bit to flip.  PROTO_BYTE_FLIP: which
+    #: byte of the serialized message (modulo its length).
+    bit_index: int = 0
+    #: DATA_TYPE_SET: the value to store.
+    set_value: Any = None
+
+    #: when — fire on the k-th matching message (1-based).
+    occurrence: int = 1
+
+    def describe(self) -> str:
+        """One-line human-readable description of the fault."""
+        where = self.field_path if self.field_path else "<message>"
+        target = self.name if self.name else "*"
+        return (
+            f"{self.fault_type.value} on {self.kind}/{target}.{where} "
+            f"via {self.channel.value} at occurrence {self.occurrence}"
+        )
+
+
+@dataclass
+class InjectionRecord:
+    """What actually happened when the fault fired."""
+
+    time: float
+    spec: FaultSpec
+    target_name: str
+    target_namespace: Optional[str]
+    original_value: Any = None
+    injected_value: Any = None
+    dropped: bool = False
+    decode_failed_after: bool = False
+
+
+def flip_int_bit(value: int, bit_index: int) -> int:
+    """Flip one bit of an integer value."""
+    return value ^ (1 << bit_index)
+
+
+def flip_str_char_bit(value: str, char_index: int) -> str:
+    """Flip the least-significant bit of one character of a string.
+
+    Flipping the LSB of an ASCII character yields another character, so the
+    result is (with high probability) still a valid string — just the wrong
+    one (paper §IV-C).
+    """
+    if not value:
+        return value
+    index = min(char_index, len(value) - 1)
+    flipped = chr(ord(value[index]) ^ 1)
+    return value[:index] + flipped + value[index + 1 :]
+
+
+def flip_bool(value: bool) -> bool:
+    """Invert a boolean value."""
+    return not value
+
+
+class MutinyInjector:
+    """Applies a single armed :class:`FaultSpec` to matching messages."""
+
+    def __init__(self, spec: Optional[FaultSpec] = None):
+        self.spec = spec
+        self._occurrences: dict[tuple, int] = {}
+        self.record: Optional[InjectionRecord] = None
+        #: Number of messages that matched the spec's (channel, kind, name)
+        #: filter regardless of whether the fault fired on them.
+        self.matches_seen = 0
+        #: Messages observed for the injected instance *after* the fault
+        #: fired (activation proxy).
+        self.post_injection_observations = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------------- arm
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Arm a new fault spec, clearing all trigger state."""
+        self.spec = spec
+        self._occurrences.clear()
+        self.record = None
+        self.matches_seen = 0
+        self.post_injection_observations = 0
+
+    def set_clock(self, now: float) -> None:
+        """Inform the injector of the current simulated time (for records)."""
+        self._now = now
+
+    @property
+    def injected(self) -> bool:
+        """True once the armed fault has fired."""
+        return self.record is not None
+
+    @property
+    def activated(self) -> bool:
+        """True if the injected instance was used again after the injection."""
+        return self.injected and (
+            self.record.dropped or self.post_injection_observations > 0
+        )
+
+    # ----------------------------------------------------------------- hooks
+
+    def etcd_write_hook(self, context, data: bytes) -> Optional[bytes]:
+        """Hook for the Apiserver→etcd channel."""
+        return self._handle(
+            InjectionChannel.APISERVER_TO_ETCD,
+            kind=context.kind,
+            name=context.name,
+            namespace=context.namespace,
+            component=None,
+            data=data,
+        )
+
+    def component_request_hook(self, context, data: bytes) -> Optional[bytes]:
+        """Hook for a component→Apiserver channel."""
+        return self._handle(
+            InjectionChannel.COMPONENT_TO_APISERVER,
+            kind=context.kind,
+            name=context.name,
+            namespace=context.namespace,
+            component=context.component,
+            data=data,
+        )
+
+    # ------------------------------------------------------------------ guts
+
+    def _matches(self, channel, kind, name, component) -> bool:
+        spec = self.spec
+        if spec is None or spec.channel is not channel or spec.kind != kind:
+            return False
+        if spec.name is not None and spec.name != name:
+            return False
+        if spec.component is not None and component is not None:
+            if not str(component).startswith(spec.component):
+                return False
+        return True
+
+    def _handle(self, channel, kind, name, namespace, component, data: bytes) -> Optional[bytes]:
+        if not self._matches(channel, kind, name, component):
+            return data
+        self.matches_seen += 1
+        if self.injected:
+            self.post_injection_observations += 1
+            return data
+
+        instance_key = (kind, namespace, name)
+        count = self._occurrences.get(instance_key, 0) + 1
+        self._occurrences[instance_key] = count
+        if count != self.spec.occurrence:
+            return data
+        return self._apply(data, name, namespace)
+
+    def _apply(self, data: bytes, name: str, namespace: Optional[str]) -> Optional[bytes]:
+        spec = self.spec
+        record = InjectionRecord(
+            time=self._now, spec=spec, target_name=name, target_namespace=namespace
+        )
+
+        if spec.fault_type is FaultType.MESSAGE_DROP:
+            record.dropped = True
+            self.record = record
+            return None
+
+        if spec.fault_type is FaultType.PROTO_BYTE_FLIP:
+            if not data:
+                return data
+            index = spec.bit_index % (len(data) * 8)
+            byte_index, bit = divmod(index, 8)
+            corrupted = bytearray(data)
+            corrupted[byte_index] ^= 1 << bit
+            record.original_value = data[byte_index]
+            record.injected_value = corrupted[byte_index]
+            try:
+                decode(bytes(corrupted))
+            except DecodeError:
+                record.decode_failed_after = True
+            self.record = record
+            return bytes(corrupted)
+
+        # Field-level faults decode the message, mutate one field, re-encode.
+        try:
+            obj = decode(data)
+        except DecodeError:
+            return data
+        if spec.field_path is None:
+            return data
+        try:
+            original = get_path(obj, spec.field_path)
+        except KeyError:
+            # The targeted field does not appear in this message; do not
+            # consume the occurrence (it never fired).
+            instance_key = (spec.kind, namespace, name)
+            self._occurrences[instance_key] -= 1
+            return data
+
+        injected = self._mutate(original)
+        try:
+            set_path(obj, spec.field_path, injected)
+        except KeyError:
+            return data
+        record.original_value = original
+        record.injected_value = injected
+        self.record = record
+        return encode(obj)
+
+    def _mutate(self, original: Any) -> Any:
+        spec = self.spec
+        if spec.fault_type is FaultType.DATA_TYPE_SET:
+            return spec.set_value
+        # BIT_FLIP
+        if isinstance(original, bool):
+            return flip_bool(original)
+        if isinstance(original, int):
+            return flip_int_bit(original, spec.bit_index)
+        if isinstance(original, str):
+            return flip_str_char_bit(original, spec.bit_index)
+        if isinstance(original, float):
+            return -original if original else 1.0
+        if original is None:
+            # Flipping a bit of an absent value materializes a small integer.
+            return 1 << spec.bit_index
+        return original

@@ -1,0 +1,257 @@
+"""Table and figure renderers.
+
+Every table and figure of the paper's evaluation has one renderer here that
+turns campaign results (or the FFDA dataset) into the rows/series the paper
+reports.  The benchmark harness calls these and prints their output, so a
+benchmark run regenerates the paper's artifacts from the simulated campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core import ffda
+from repro.core.analysis import (
+    client_impact_analysis,
+    critical_field_analysis,
+    user_error_analysis,
+)
+from repro.core.campaign import CampaignResult
+from repro.core.classification import ClientFailure, OrchestratorFailure
+from repro.core.experiment import ExperimentResult
+from repro.workloads.workload import WorkloadKind
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table I — fault / error / failure taxonomy with real-world counts
+# --------------------------------------------------------------------------
+
+
+def render_table1() -> str:
+    """Table I: the FFDA fault-error-failure chain with incident counts."""
+    rows = []
+    for name, count in sorted(ffda.count_by_fault().items(), key=lambda item: -item[1]):
+        rows.append(["Fault", name, str(count)])
+    for name, count in sorted(ffda.count_by_error().items(), key=lambda item: -item[1]):
+        rows.append(["Error", name, str(count)])
+    for name, count in sorted(ffda.count_by_failure().items(), key=lambda item: -item[1]):
+        rows.append(["Failure", name, str(count)])
+    table = _format_table(["Level", "Category", "Incidents"], rows)
+    summary = (
+        f"\nTotal incidents: {ffda.incident_count()} | outages: {ffda.outage_count()} | "
+        f"misconfigurations: {ffda.misconfiguration_count()} | "
+        f"replicable by Mutiny: {ffda.replicable_count()}"
+    )
+    return table + summary
+
+
+# --------------------------------------------------------------------------
+# Table III — OF → CF mapping
+# --------------------------------------------------------------------------
+
+
+def render_table3(campaign: CampaignResult, workload: Optional[WorkloadKind] = None) -> str:
+    """Table III: propagation of orchestrator failures to client failures."""
+    headers = ["OF \\ CF"] + [failure.value for failure in ClientFailure]
+    rows = []
+    matrix = campaign.of_cf_matrix(workload)
+    for of_name in [failure.value for failure in OrchestratorFailure]:
+        row = [of_name]
+        for cf_name in [failure.value for failure in ClientFailure]:
+            row.append(str(matrix[of_name][cf_name]))
+        rows.append(row)
+    title = f"workload={workload.value}" if workload else "all workloads"
+    return f"Table III ({title})\n" + _format_table(headers, rows)
+
+
+# --------------------------------------------------------------------------
+# Table IV / Table V — OF and CF statistics per workload and injection type
+# --------------------------------------------------------------------------
+
+
+def render_table4(campaign: CampaignResult) -> str:
+    """Table IV: orchestrator-level failures per workload and injection type."""
+    headers = ["Workload", "Injection", "Perf."] + [f.value for f in OrchestratorFailure]
+    rows = []
+    counts = campaign.of_counts()
+    for (workload, family), row_counts in sorted(counts.items()):
+        total = sum(row_counts.values())
+        row = [workload, family, str(total)]
+        row += [str(row_counts[f.value]) for f in OrchestratorFailure]
+        rows.append(row)
+    totals = {f.value: 0 for f in OrchestratorFailure}
+    grand_total = 0
+    for row_counts in counts.values():
+        for key, value in row_counts.items():
+            totals[key] += value
+            grand_total += value
+    summary_row = ["TOTAL", "", str(grand_total)] + [
+        str(totals[f.value]) for f in OrchestratorFailure
+    ]
+    percent_row = ["%", "", "100%"] + [
+        f"{100.0 * totals[f.value] / grand_total:.1f}%" if grand_total else "0%"
+        for f in OrchestratorFailure
+    ]
+    rows.append(summary_row)
+    rows.append(percent_row)
+    return "Table IV\n" + _format_table(headers, rows)
+
+
+def render_table5(campaign: CampaignResult) -> str:
+    """Table V: client-level failures per workload and injection type."""
+    headers = ["Workload", "Injection", "Perf."] + [f.value for f in ClientFailure]
+    rows = []
+    counts = campaign.cf_counts()
+    for (workload, family), row_counts in sorted(counts.items()):
+        total = sum(row_counts.values())
+        row = [workload, family, str(total)]
+        row += [str(row_counts[f.value]) for f in ClientFailure]
+        rows.append(row)
+    totals = {f.value: 0 for f in ClientFailure}
+    grand_total = 0
+    for row_counts in counts.values():
+        for key, value in row_counts.items():
+            totals[key] += value
+            grand_total += value
+    rows.append(["TOTAL", "", str(grand_total)] + [str(totals[f.value]) for f in ClientFailure])
+    rows.append(
+        ["%", "", "100%"]
+        + [
+            f"{100.0 * totals[f.value] / grand_total:.1f}%" if grand_total else "0%"
+            for f in ClientFailure
+        ]
+    )
+    return "Table V\n" + _format_table(headers, rows)
+
+
+# --------------------------------------------------------------------------
+# Table VI — propagation through Apiserver validation
+# --------------------------------------------------------------------------
+
+
+def render_table6(rows: list[dict]) -> str:
+    """Table VI: injections into component→Apiserver messages."""
+    headers = ["Workload", "Component", "Inj.", "Prop", "Err."]
+    body = [
+        [
+            row["workload"],
+            row["component"],
+            str(row["injections"]),
+            str(row["propagated"]),
+            str(row["errors"]),
+        ]
+        for row in rows
+    ]
+    return "Table VI\n" + _format_table(headers, body)
+
+
+# --------------------------------------------------------------------------
+# Table VII — real-world coverage
+# --------------------------------------------------------------------------
+
+
+def render_table7() -> str:
+    """Table VII: comparison between Mutiny-triggered and real-world failures."""
+    coverage = ffda.coverage_table()
+    rows = []
+    for level in ("errors", "failures"):
+        for category, subcategories in coverage[level].items():
+            for subcategory, marker in subcategories:
+                rows.append([level, category, subcategory, marker])
+    return "Table VII\n" + _format_table(["Level", "Category", "Subcategory", "Mutiny"], rows)
+
+
+# --------------------------------------------------------------------------
+# Figures
+# --------------------------------------------------------------------------
+
+
+def render_figure5(golden_series: list[float], injected_series: list[float], zscore: float) -> str:
+    """Figure 5: a golden latency series next to an injected one."""
+
+    def summarize(series: list[float]) -> str:
+        if not series:
+            return "no samples"
+        failed = sum(1 for value in series if value == 0.0)
+        nonzero = [value for value in series if value > 0.0]
+        mean = sum(nonzero) / len(nonzero) if nonzero else 0.0
+        return f"{len(series)} requests, {failed} failed, mean latency {mean * 1000:.1f} ms"
+
+    return (
+        "Figure 5\n"
+        f"golden run   : {summarize(golden_series)}\n"
+        f"injected run : {summarize(injected_series)} (z-score {zscore:.1f})"
+    )
+
+
+def render_figure6(results: Iterable[ExperimentResult]) -> str:
+    """Figure 6: client z-score distribution per orchestrator failure category."""
+    report = client_impact_analysis(results)
+    headers = ["OF", "count", "median z", "p90 z", "max z"]
+    rows = []
+    for failure in OrchestratorFailure:
+        stats = report.summary().get(failure.value)
+        if stats is None:
+            continue
+        rows.append(
+            [
+                failure.value,
+                str(int(stats["count"])),
+                f"{stats['median']:.2f}",
+                f"{stats['p90']:.2f}",
+                f"{stats['max']:.2f}",
+            ]
+        )
+    return "Figure 6\n" + _format_table(headers, rows)
+
+
+def render_figure7(results: Iterable[ExperimentResult]) -> str:
+    """Figure 7: user-visible errors per orchestrator failure category."""
+    report = user_error_analysis(results)
+    headers = ["OF", "experiments", "user saw error"]
+    rows = []
+    for failure in OrchestratorFailure:
+        if failure.value not in report.per_failure:
+            continue
+        total, errored = report.per_failure[failure.value]
+        rows.append([failure.value, str(total), str(errored)])
+    silent = report.silent_failure_fraction
+    return (
+        "Figure 7\n"
+        + _format_table(headers, rows)
+        + f"\nsilent failures (no user-visible error among OF != No): {silent * 100:.1f}%"
+    )
+
+
+def render_critical_fields(results: Iterable[ExperimentResult]) -> str:
+    """Finding F2: critical-field analysis summary."""
+    report = critical_field_analysis(results)
+    headers = ["Field category", "critical injections", "distinct fields"]
+    rows = []
+    for category in sorted(report.injections_per_category, key=lambda key: -report.injections_per_category[key]):
+        rows.append(
+            [
+                category,
+                str(report.injections_per_category[category]),
+                str(report.fields_per_category.get(category, 0)),
+            ]
+        )
+    return (
+        "Critical-field analysis (F2)\n"
+        + _format_table(headers, rows)
+        + f"\ndependency-field share of critical injections: {report.dependency_share * 100:.1f}%"
+    )

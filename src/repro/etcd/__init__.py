@@ -1,0 +1,25 @@
+"""The cluster data store.
+
+Kubernetes keeps the entire cluster state — current and desired — in etcd.
+The paper's central observation is that this makes the data store a
+dependability bottleneck: a single incorrect value written there propagates
+to every component that watches it.
+
+:mod:`repro.etcd` provides a revisioned, watchable key-value store
+(:class:`~repro.etcd.store.EtcdStore`), a simulated Raft quorum layer
+(:class:`~repro.etcd.raft.RaftGroup`) and a storage-quota model so that
+event storms can fill the disk and stall the store, as in the paper's
+uncontrolled-replication example.
+"""
+
+from repro.etcd.raft import RaftGroup, RaftMember
+from repro.etcd.store import EtcdStore, KeyValue, StoreQuotaExceeded, WatchEvent
+
+__all__ = [
+    "EtcdStore",
+    "KeyValue",
+    "RaftGroup",
+    "RaftMember",
+    "StoreQuotaExceeded",
+    "WatchEvent",
+]

@@ -1,0 +1,12 @@
+"""The node agent (kubelet).
+
+One :class:`~repro.kubelet.kubelet.Kubelet` runs per simulated Node.  It
+renews the node's heartbeat Lease, admits pods bound to the node (enforcing
+allocatable resources and preempting lower-priority pods when necessary),
+starts their containers after a startup delay, applies the crash-restart
+backoff circuit breaker, and reports pod status back to the Apiserver.
+"""
+
+from repro.kubelet.kubelet import Kubelet
+
+__all__ = ["Kubelet"]

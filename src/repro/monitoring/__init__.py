@@ -1,0 +1,13 @@
+"""Monitoring substrate.
+
+Plays the role of Prometheus + kube-state-metrics in the paper's testbed:
+a sampler records, every three simulated seconds, the number of ready
+replicas of every ReplicaSet, the endpoints of every Service, pod counts by
+phase and control-plane health.  The orchestrator-level failure classifier
+works entirely from these series, exactly as the paper's classifier works
+from the scraped metrics.
+"""
+
+from repro.monitoring.metrics import MetricsCollector, MetricsSample
+
+__all__ = ["MetricsCollector", "MetricsSample"]

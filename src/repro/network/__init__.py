@@ -1,0 +1,13 @@
+"""The cluster network: CNI routes, kube-proxy views and DNS.
+
+Networking in Kubernetes is itself reconciled from data-store objects: the
+network manager DaemonSet programs routes for each node, kube-proxy turns
+Services and Endpoints into load-balancing rules, and coreDNS serves name
+resolution from Service records.  Because all of that state lives in etcd,
+it is squarely inside Mutiny's injection surface — the paper's Service
+Network (Net), Stall and Outage failures are largely networking failures.
+"""
+
+from repro.network.network import ClusterNetwork, RequestOutcome
+
+__all__ = ["ClusterNetwork", "RequestOutcome"]

@@ -1,0 +1,55 @@
+"""API object model.
+
+Resources are represented the way Kubernetes itself represents them: as
+nested dictionaries ("manifests").  This keeps field-level fault injection
+natural — an injected field path addresses exactly the structure that is
+serialized to the data store — while the helpers in this package provide the
+typed constructors, label-selector matching, owner-reference bookkeeping and
+resource-quantity arithmetic that the controllers need.
+"""
+
+from repro.objects.meta import (
+    deep_copy,
+    make_object_meta,
+    make_owner_reference,
+    new_uid,
+    owner_uids,
+)
+from repro.objects.quantities import parse_cpu, parse_memory
+from repro.objects.selectors import matches_selector, selector_from_labels
+from repro.objects.kinds import (
+    KINDS,
+    make_configmap,
+    make_daemonset,
+    make_deployment,
+    make_endpoints,
+    make_lease,
+    make_namespace,
+    make_node,
+    make_pod,
+    make_replicaset,
+    make_service,
+)
+
+__all__ = [
+    "KINDS",
+    "deep_copy",
+    "make_configmap",
+    "make_daemonset",
+    "make_deployment",
+    "make_endpoints",
+    "make_lease",
+    "make_namespace",
+    "make_node",
+    "make_object_meta",
+    "make_owner_reference",
+    "make_pod",
+    "make_replicaset",
+    "make_service",
+    "matches_selector",
+    "new_uid",
+    "owner_uids",
+    "parse_cpu",
+    "parse_memory",
+    "selector_from_labels",
+]

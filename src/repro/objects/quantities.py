@@ -1,0 +1,154 @@
+"""Resource quantity parsing and arithmetic.
+
+Pods request CPU in cores or millicores (``"500m"``) and memory in bytes with
+binary suffixes (``"128Mi"``).  Nodes advertise allocatable capacity in the
+same units.  The scheduler and the overload/exhaustion failure paths depend
+on this arithmetic being correct, and on it being *tolerant*: a corrupted
+quantity string must degrade predictably instead of crashing the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+_MEMORY_SUFFIXES = {
+    "Ki": 1024,
+    "Mi": 1024**2,
+    "Gi": 1024**3,
+    "Ti": 1024**4,
+    "K": 1000,
+    "M": 1000**2,
+    "G": 1000**3,
+    "T": 1000**4,
+}
+
+
+class QuantityError(ValueError):
+    """Raised when a resource quantity string cannot be parsed."""
+
+
+def parse_cpu(value: Union[str, int, float, None]) -> float:
+    """Parse a CPU quantity into cores (float).
+
+    Accepts integers/floats (cores), strings like ``"2"`` or ``"500m"``
+    (millicores).  Raises :class:`QuantityError` on malformed strings.
+    """
+    if value is None:
+        return 0.0
+    if isinstance(value, bool):
+        raise QuantityError(f"invalid CPU quantity {value!r}")
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise QuantityError(f"negative CPU quantity {value!r}")
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            raise QuantityError("empty CPU quantity")
+        try:
+            if text.endswith("m"):
+                cores = int(text[:-1]) / 1000.0
+            else:
+                cores = float(text)
+        except ValueError as exc:
+            raise QuantityError(f"invalid CPU quantity {value!r}") from exc
+        if cores < 0:
+            raise QuantityError(f"negative CPU quantity {value!r}")
+        return cores
+    raise QuantityError(f"invalid CPU quantity {value!r}")
+
+
+def parse_memory(value: Union[str, int, float, None]) -> int:
+    """Parse a memory quantity into bytes (int).
+
+    Accepts integers (bytes) and strings with decimal or binary suffixes.
+    Raises :class:`QuantityError` on malformed strings.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        raise QuantityError(f"invalid memory quantity {value!r}")
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise QuantityError(f"negative memory quantity {value!r}")
+        return int(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            raise QuantityError("empty memory quantity")
+        for suffix, multiplier in _MEMORY_SUFFIXES.items():
+            if text.endswith(suffix):
+                number = text[: -len(suffix)]
+                try:
+                    parsed = int(float(number) * multiplier)
+                except ValueError as exc:
+                    raise QuantityError(f"invalid memory quantity {value!r}") from exc
+                if parsed < 0:
+                    raise QuantityError(f"negative memory quantity {value!r}")
+                return parsed
+        try:
+            parsed = int(float(text))
+        except ValueError as exc:
+            raise QuantityError(f"invalid memory quantity {value!r}") from exc
+        if parsed < 0:
+            raise QuantityError(f"negative memory quantity {value!r}")
+        return parsed
+    raise QuantityError(f"invalid memory quantity {value!r}")
+
+
+def safe_parse_cpu(value, default: float = 0.0) -> float:
+    """Parse a CPU quantity, returning ``default`` on corrupted values."""
+    try:
+        return parse_cpu(value)
+    except QuantityError:
+        return default
+
+
+def safe_parse_memory(value, default: int = 0) -> int:
+    """Parse a memory quantity, returning ``default`` on corrupted values."""
+    try:
+        return parse_memory(value)
+    except QuantityError:
+        return default
+
+
+def pod_resource_request(pod: dict) -> tuple[float, int]:
+    """Return the total ``(cpu_cores, memory_bytes)`` requested by a Pod.
+
+    Corrupted container specs contribute zero rather than raising, matching
+    the real scheduler's behaviour of treating unparseable requests as empty.
+    """
+    spec = pod.get("spec")
+    if not isinstance(spec, dict):
+        return 0.0, 0
+    containers = spec.get("containers")
+    if not isinstance(containers, list):
+        return 0.0, 0
+    total_cpu = 0.0
+    total_memory = 0
+    for container in containers:
+        if not isinstance(container, dict):
+            continue
+        resources = container.get("resources")
+        if not isinstance(resources, dict):
+            continue
+        requests = resources.get("requests")
+        if not isinstance(requests, dict):
+            continue
+        total_cpu += safe_parse_cpu(requests.get("cpu"))
+        total_memory += safe_parse_memory(requests.get("memory"))
+    return total_cpu, total_memory
+
+
+def node_allocatable(node: dict) -> tuple[float, int]:
+    """Return the ``(cpu_cores, memory_bytes)`` allocatable on a Node."""
+    status = node.get("status")
+    if not isinstance(status, dict):
+        return 0.0, 0
+    allocatable = status.get("allocatable")
+    if not isinstance(allocatable, dict):
+        return 0.0, 0
+    return (
+        safe_parse_cpu(allocatable.get("cpu")),
+        safe_parse_memory(allocatable.get("memory")),
+    )

@@ -1,0 +1,85 @@
+"""Label selector matching.
+
+Label selectors are the "flexible but fragile" dependency mechanism the
+paper's F2 finding is about: ReplicaSets, DaemonSets and Services all find
+their Pods by matching labels.  A single corrupted character in a label or
+selector silently breaks the relationship.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def selector_from_labels(labels: dict[str, str]) -> dict:
+    """Build a selector that matches exactly the given labels."""
+    return {"matchLabels": dict(labels)}
+
+
+def _labels_of(obj: dict) -> dict:
+    metadata = obj.get("metadata")
+    if not isinstance(metadata, dict):
+        return {}
+    labels = metadata.get("labels")
+    return labels if isinstance(labels, dict) else {}
+
+
+def matches_selector(selector: Optional[dict], obj: dict) -> bool:
+    """Return True if ``obj``'s labels satisfy ``selector``.
+
+    Supports ``matchLabels`` and the ``matchExpressions`` operators ``In``,
+    ``NotIn``, ``Exists`` and ``DoesNotExist``.  A corrupted selector (wrong
+    type, missing keys) matches nothing rather than raising — mirroring how
+    a real controller quietly stops finding its children.
+    """
+    if not isinstance(selector, dict):
+        return False
+    labels = _labels_of(obj)
+
+    match_labels = selector.get("matchLabels")
+    if match_labels is not None:
+        if not isinstance(match_labels, dict):
+            return False
+        for key, value in match_labels.items():
+            if labels.get(key) != value:
+                return False
+
+    expressions = selector.get("matchExpressions")
+    if expressions is not None:
+        if not isinstance(expressions, list):
+            return False
+        for expr in expressions:
+            if not _matches_expression(expr, labels):
+                return False
+
+    if match_labels is None and expressions is None:
+        # An empty selector matches nothing: this is the safe default the
+        # apiserver validation enforces for workload controllers.
+        return False
+    return True
+
+
+def _matches_expression(expr: Any, labels: dict[str, str]) -> bool:
+    if not isinstance(expr, dict):
+        return False
+    key = expr.get("key")
+    operator = expr.get("operator")
+    values = expr.get("values", [])
+    if not isinstance(key, str) or not isinstance(operator, str):
+        return False
+    if operator == "In":
+        return isinstance(values, list) and labels.get(key) in values
+    if operator == "NotIn":
+        return isinstance(values, list) and labels.get(key) not in values
+    if operator == "Exists":
+        return key in labels
+    if operator == "DoesNotExist":
+        return key not in labels
+    return False
+
+
+def labels_subset(subset: dict[str, str], labels: dict[str, str]) -> bool:
+    """Return True if every key/value in ``subset`` appears in ``labels``."""
+    if not isinstance(subset, dict) or not isinstance(labels, dict):
+        return False
+    return all(labels.get(key) == value for key, value in subset.items())

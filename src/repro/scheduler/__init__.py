@@ -1,0 +1,12 @@
+"""The kube-scheduler.
+
+Assigns pending Pods to Nodes based on resource requests, taints and
+availability, and implements the cache-consistency restart behaviour the
+paper observed: when the scheduler's in-memory view of an assignment
+disagrees with the data store, it assumes its cache is corrupted and
+restarts, paying a leader re-election delay before scheduling resumes.
+"""
+
+from repro.scheduler.scheduler import Scheduler
+
+__all__ = ["Scheduler"]

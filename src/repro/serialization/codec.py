@@ -1,0 +1,222 @@
+"""A varint / length-delimited wire codec for API objects.
+
+The format ("mutinyproto") mirrors the aspects of Protobuf that matter for
+the paper's serialization-byte fault injections:
+
+* integers are varint-encoded (little-endian base-128 with a continuation
+  bit), so flipping a low-order bit changes the value slightly while flipping
+  the continuation bit breaks framing;
+* strings, nested messages and lists are length-delimited, so corrupting a
+  length byte truncates or overruns the payload;
+* field keys are encoded inline, so corrupting a key byte silently moves the
+  value to a different (usually unknown) field.
+
+Objects are plain Python dictionaries whose leaves are ``int``, ``float``,
+``bool``, ``str``, ``None``, lists, or nested dictionaries — exactly the
+shape of the resource objects in :mod:`repro.objects`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# One-byte value type tags.
+_TYPE_INT = 0x00
+_TYPE_STR = 0x01
+_TYPE_BOOL = 0x02
+_TYPE_MESSAGE = 0x03
+_TYPE_LIST = 0x04
+_TYPE_FLOAT = 0x05
+_TYPE_NONE = 0x06
+
+_MAX_LENGTH = 16 * 1024 * 1024  # guard against corrupted lengths exploding memory
+
+
+class DecodeError(ValueError):
+    """Raised when a byte string cannot be decoded back into an object."""
+
+
+class EncodeError(ValueError):
+    """Raised when an object contains values the wire format cannot represent."""
+
+
+def _encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise EncodeError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; return ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise DecodeError("truncated varint")
+        byte = data[pos]
+        result |= (byte & 0x7F) << shift
+        pos += 1
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise DecodeError("varint too long")
+
+
+def _encode_zigzag(value: int) -> int:
+    """Map a signed integer onto an unsigned one (ZigZag encoding)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _decode_zigzag(value: int) -> int:
+    """Inverse of :func:`_encode_zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_value(value: Any) -> bytes:
+    """Encode a single value with its type tag."""
+    if value is None:
+        return bytes([_TYPE_NONE])
+    if isinstance(value, bool):
+        return bytes([_TYPE_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_TYPE_INT]) + _encode_varint(_encode_zigzag(value))
+    if isinstance(value, float):
+        import struct
+
+        return bytes([_TYPE_FLOAT]) + struct.pack("<d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TYPE_STR]) + _encode_varint(len(raw)) + raw
+    if isinstance(value, dict):
+        payload = _encode_message(value)
+        return bytes([_TYPE_MESSAGE]) + _encode_varint(len(payload)) + payload
+    if isinstance(value, (list, tuple)):
+        parts = bytearray()
+        parts += _encode_varint(len(value))
+        for item in value:
+            parts += _encode_value(item)
+        return bytes([_TYPE_LIST]) + _encode_varint(len(parts)) + bytes(parts)
+    raise EncodeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
+    """Decode a single tagged value at ``offset``."""
+    if offset >= len(data):
+        raise DecodeError("truncated value tag")
+    tag = data[offset]
+    offset += 1
+    if tag == _TYPE_NONE:
+        return None, offset
+    if tag == _TYPE_BOOL:
+        if offset >= len(data):
+            raise DecodeError("truncated bool")
+        return bool(data[offset]), offset + 1
+    if tag == _TYPE_INT:
+        raw, offset = _decode_varint(data, offset)
+        return _decode_zigzag(raw), offset
+    if tag == _TYPE_FLOAT:
+        import struct
+
+        if offset + 8 > len(data):
+            raise DecodeError("truncated float")
+        return struct.unpack("<d", data[offset : offset + 8])[0], offset + 8
+    if tag == _TYPE_STR:
+        length, offset = _decode_varint(data, offset)
+        if length > _MAX_LENGTH:
+            raise DecodeError(f"string length {length} exceeds limit")
+        if offset + length > len(data):
+            raise DecodeError("truncated string")
+        raw = data[offset : offset + length]
+        try:
+            return raw.decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid utf-8 in string: {exc}") from exc
+    if tag == _TYPE_MESSAGE:
+        length, offset = _decode_varint(data, offset)
+        if length > _MAX_LENGTH:
+            raise DecodeError(f"message length {length} exceeds limit")
+        if offset + length > len(data):
+            raise DecodeError("truncated message")
+        return _decode_message(data[offset : offset + length]), offset + length
+    if tag == _TYPE_LIST:
+        length, offset = _decode_varint(data, offset)
+        if length > _MAX_LENGTH:
+            raise DecodeError(f"list length {length} exceeds limit")
+        if offset + length > len(data):
+            raise DecodeError("truncated list")
+        chunk = data[offset : offset + length]
+        count, pos = _decode_varint(chunk, 0)
+        if count > _MAX_LENGTH:
+            raise DecodeError(f"list count {count} exceeds limit")
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(chunk, pos)
+            items.append(item)
+        if pos != len(chunk):
+            raise DecodeError("trailing bytes in list payload")
+        return items, offset + length
+    raise DecodeError(f"unknown value type tag 0x{tag:02x}")
+
+
+def _encode_message(obj: dict) -> bytes:
+    """Encode a dictionary as a sequence of key/value entries."""
+    parts = bytearray()
+    for key in obj:
+        if not isinstance(key, str):
+            raise EncodeError(f"message keys must be strings, got {type(key).__name__}")
+        raw_key = key.encode("utf-8")
+        parts += _encode_varint(len(raw_key))
+        parts += raw_key
+        parts += _encode_value(obj[key])
+    return bytes(parts)
+
+
+def _decode_message(data: bytes) -> dict:
+    """Decode a sequence of key/value entries back into a dictionary."""
+    obj: dict[str, Any] = {}
+    offset = 0
+    while offset < len(data):
+        key_len, offset = _decode_varint(data, offset)
+        if key_len > _MAX_LENGTH:
+            raise DecodeError(f"key length {key_len} exceeds limit")
+        if offset + key_len > len(data):
+            raise DecodeError("truncated key")
+        raw_key = data[offset : offset + key_len]
+        try:
+            key = raw_key.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid utf-8 in key: {exc}") from exc
+        offset += key_len
+        value, offset = _decode_value(data, offset)
+        obj[key] = value
+    return obj
+
+
+def encode(obj: dict) -> bytes:
+    """Serialize an API object (a nested dictionary) to wire bytes."""
+    if not isinstance(obj, dict):
+        raise EncodeError(f"top-level object must be a dict, got {type(obj).__name__}")
+    return _encode_message(obj)
+
+
+def decode(data: bytes) -> dict:
+    """Deserialize wire bytes back into an API object.
+
+    Raises :class:`DecodeError` if the bytes are not a valid encoding —
+    the situation in which the Apiserver deletes the "undecryptable"
+    resource (paper §II-D).
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise DecodeError(f"expected bytes, got {type(data).__name__}")
+    return _decode_message(bytes(data))

@@ -1,0 +1,134 @@
+"""Field-path utilities for API objects.
+
+The injection campaign operates on *fields* of resource objects: it records
+which fields appear in the messages written to etcd during a golden run and
+then generates bit-flip / value-set injections per field.  Field paths are
+dotted strings; list elements are addressed by index, e.g.
+``spec.template.spec.containers.0.image``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class FieldRecord:
+    """A leaf field observed in an API object.
+
+    Attributes:
+        path: dotted field path from the object root.
+        value_type: ``"int"``, ``"str"``, ``"bool"``, ``"float"`` or ``"none"``.
+        value: the value observed when the field was recorded.
+    """
+
+    path: str
+    value_type: str
+    value: Any
+
+
+def _type_name(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "none"
+    return type(value).__name__
+
+
+def iter_field_paths(obj: Any, prefix: str = "") -> Iterator[FieldRecord]:
+    """Yield a :class:`FieldRecord` for every leaf field in ``obj``.
+
+    Dictionaries and lists are traversed; every scalar leaf (including
+    ``None``) produces one record.
+    """
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from iter_field_paths(value, path)
+    elif isinstance(obj, (list, tuple)):
+        for index, value in enumerate(obj):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            yield from iter_field_paths(value, path)
+    else:
+        yield FieldRecord(path=prefix, value_type=_type_name(obj), value=obj)
+
+
+def _split(path: str) -> list[str]:
+    if not path:
+        raise KeyError("empty field path")
+    return path.split(".")
+
+
+def get_path(obj: Any, path: str) -> Any:
+    """Return the value at ``path``; raise ``KeyError`` if absent."""
+    node = obj
+    for part in _split(path):
+        if isinstance(node, dict):
+            if part not in node:
+                raise KeyError(f"field path component {part!r} not found in {path!r}")
+            node = node[part]
+        elif isinstance(node, (list, tuple)):
+            try:
+                index = int(part)
+            except ValueError as exc:
+                raise KeyError(f"expected list index at {part!r} in {path!r}") from exc
+            if index >= len(node):
+                raise KeyError(f"index {index} out of range in {path!r}")
+            node = node[index]
+        else:
+            raise KeyError(f"cannot descend into scalar at {part!r} in {path!r}")
+    return node
+
+
+def set_path(obj: Any, path: str, value: Any) -> None:
+    """Set the value at ``path`` in place; raise ``KeyError`` if the parent is absent."""
+    parts = _split(path)
+    node = obj
+    for part in parts[:-1]:
+        if isinstance(node, dict):
+            if part not in node:
+                raise KeyError(f"field path component {part!r} not found in {path!r}")
+            node = node[part]
+        elif isinstance(node, list):
+            index = int(part)
+            if index >= len(node):
+                raise KeyError(f"index {index} out of range in {path!r}")
+            node = node[index]
+        else:
+            raise KeyError(f"cannot descend into scalar at {part!r} in {path!r}")
+    last = parts[-1]
+    if isinstance(node, dict):
+        node[last] = value
+    elif isinstance(node, list):
+        index = int(last)
+        if index >= len(node):
+            raise KeyError(f"index {index} out of range in {path!r}")
+        node[index] = value
+    else:
+        raise KeyError(f"cannot set field on scalar parent in {path!r}")
+
+
+def delete_path(obj: Any, path: str) -> None:
+    """Remove the value at ``path``; raise ``KeyError`` if absent."""
+    parts = _split(path)
+    parent_path = ".".join(parts[:-1])
+    parent = get_path(obj, parent_path) if parent_path else obj
+    last = parts[-1]
+    if isinstance(parent, dict):
+        if last not in parent:
+            raise KeyError(f"field path {path!r} not found")
+        del parent[last]
+    elif isinstance(parent, list):
+        index = int(last)
+        if index >= len(parent):
+            raise KeyError(f"index {index} out of range in {path!r}")
+        del parent[index]
+    else:
+        raise KeyError(f"cannot delete field from scalar parent in {path!r}")

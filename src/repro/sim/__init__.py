@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel.
+
+Every other substrate (etcd, apiserver, controllers, kubelets, network,
+workloads) is driven by a single :class:`~repro.sim.engine.Simulation`
+instance: components schedule callbacks at simulated timestamps and the
+engine executes them in time order.  The kernel is deliberately small and
+deterministic — the same seed always produces the same event interleaving,
+which makes fault-injection experiments reproducible.
+"""
+
+from repro.sim.engine import Event, Simulation
+from repro.sim.rng import DeterministicRNG
+
+__all__ = ["DeterministicRNG", "Event", "Simulation"]

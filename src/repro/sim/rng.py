@@ -1,0 +1,71 @@
+"""Deterministic random number generation for the simulation.
+
+All stochastic decisions in the simulator (jitter on periodic loops, network
+latencies, which serialization byte a campaign corrupts, …) flow through a
+:class:`DeterministicRNG` so that an experiment is fully determined by its
+seed.  The class is a thin wrapper around :class:`random.Random` that adds
+named sub-streams: two components drawing from differently named streams do
+not perturb each other's sequences even if the order of their draws changes.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class DeterministicRNG:
+    """Seeded random source with named, independent sub-streams."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this RNG was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the named sub-stream, creating it on first use.
+
+        The sub-stream seed is derived from the master seed and the CRC32 of
+        the name, so it is stable across runs and across unrelated changes in
+        the order streams are requested.
+        """
+        if name not in self._streams:
+            derived = (self._seed * 2654435761 + zlib.crc32(name.encode("utf-8"))) % (2**63)
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Draw a uniform float in ``[low, high]`` from the named stream."""
+        return self.stream(name).uniform(low, high)
+
+    def randint(self, name: str, low: int, high: int) -> int:
+        """Draw an integer in ``[low, high]`` (inclusive) from the named stream."""
+        return self.stream(name).randint(low, high)
+
+    def choice(self, name: str, seq):
+        """Pick a random element of ``seq`` from the named stream."""
+        return self.stream(name).choice(seq)
+
+    def shuffle(self, name: str, seq: list) -> list:
+        """Return a shuffled copy of ``seq`` using the named stream."""
+        copy = list(seq)
+        self.stream(name).shuffle(copy)
+        return copy
+
+    def jitter(self, name: str, base: float, fraction: float = 0.1) -> float:
+        """Return ``base`` perturbed by up to ``±fraction`` of itself."""
+        if base == 0:
+            return 0.0
+        return base * (1.0 + self.uniform(name, -fraction, fraction))
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Return a new RNG whose streams are independent of this one.
+
+        Used by the campaign manager to give every experiment its own RNG
+        derived from the campaign seed and the experiment index.
+        """
+        return DeterministicRNG((self._seed * 1000003 + salt) % (2**63))

@@ -1,0 +1,21 @@
+"""Orchestration workloads and the application client.
+
+The workloads replicate the paper's kbench-driven benchmark (§IV-B):
+*deploy* creates new Deployments, *scale-up* grows existing Deployments in
+steps, and *failover* simulates a node failure through a NoExecute taint.
+The application client sends a fixed-rate request stream to the service
+application and records per-request latencies — the raw material of the
+client-level failure classification.
+"""
+
+from repro.workloads.appclient import ApplicationClient, RequestSample
+from repro.workloads.scenario import ServiceApplication
+from repro.workloads.workload import KbenchDriver, WorkloadKind
+
+__all__ = [
+    "ApplicationClient",
+    "KbenchDriver",
+    "RequestSample",
+    "ServiceApplication",
+    "WorkloadKind",
+]

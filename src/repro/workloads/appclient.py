@@ -1,0 +1,118 @@
+"""Application client.
+
+Sends a fixed-rate request stream to the service application through the
+virtual cluster network and records one latency sample per request.  Failed
+requests are recorded with latency padded to zero, exactly as the paper does
+before computing the mean-absolute-error of a run against the golden
+baseline (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.network import ClusterNetwork
+from repro.sim.engine import Simulation
+from repro.workloads.scenario import SERVICE_NAME
+
+#: Paper parameters: 20 requests/second for 30 seconds.
+REQUEST_RATE = 20.0
+CLIENT_DURATION = 30.0
+
+#: A request slower than this is reported as a timeout error.
+REQUEST_TIMEOUT = 5.0
+
+
+@dataclass
+class RequestSample:
+    """One request as observed by the application client."""
+
+    time: float
+    latency: float
+    success: bool
+    error: Optional[str] = None
+
+
+class ApplicationClient:
+    """Fixed-rate client of the service application."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: ClusterNetwork,
+        service_name: str = SERVICE_NAME,
+        namespace: str = "default",
+        rate: float = REQUEST_RATE,
+        duration: float = CLIENT_DURATION,
+        expected_backends: int = 6,
+    ):
+        self.sim = sim
+        self.network = network
+        self.service_name = service_name
+        self.namespace = namespace
+        self.rate = rate
+        self.duration = duration
+        self.expected_backends = expected_backends
+        self.samples: list[RequestSample] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the whole request stream on the simulation timeline."""
+        if self._started:
+            raise RuntimeError("application client already started")
+        self._started = True
+        interval = 1.0 / self.rate
+        total = int(self.rate * self.duration)
+        for index in range(total):
+            self.sim.call_after(
+                index * interval, self._send_one, label=f"app-client-{index}"
+            )
+
+    def _send_one(self) -> None:
+        outcome = self.network.request(
+            self.service_name,
+            namespace=self.namespace,
+            use_dns=False,
+            expected_backends=self.expected_backends,
+        )
+        if outcome.success and outcome.latency > REQUEST_TIMEOUT:
+            sample = RequestSample(
+                time=self.sim.now, latency=0.0, success=False, error="timeout"
+            )
+        elif outcome.success:
+            sample = RequestSample(time=self.sim.now, latency=outcome.latency, success=True)
+        else:
+            sample = RequestSample(
+                time=self.sim.now, latency=0.0, success=False, error=outcome.error
+            )
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------ stats
+
+    def time_series(self) -> list[float]:
+        """Latency time series ordered by send time (failed requests padded to 0)."""
+        return [sample.latency for sample in sorted(self.samples, key=lambda item: item.time)]
+
+    def error_samples(self) -> list[RequestSample]:
+        """Requests that failed."""
+        return [sample for sample in self.samples if not sample.success]
+
+    def error_burst_count(self) -> int:
+        """Number of distinct bursts of consecutive errors (for IA classification)."""
+        bursts = 0
+        in_burst = False
+        for sample in sorted(self.samples, key=lambda item: item.time):
+            if not sample.success:
+                if not in_burst:
+                    bursts += 1
+                    in_burst = True
+            else:
+                in_burst = False
+        return bursts
+
+    def availability(self) -> float:
+        """Fraction of successful requests."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for sample in self.samples if sample.success) / len(self.samples)

@@ -1,0 +1,121 @@
+"""Service application deployed by the workloads.
+
+The paper's service application is a stateless Flask web server that reads a
+random seed from a Volume at startup, is fronted by a Service, and has CPU
+and memory requests, limits and default priority.  The scenario helper
+creates (and tears down) the pieces that must exist *before* the injected
+workload runs: the ConfigMap backing the seed volume, the Service, and —
+for the scale-up and failover workloads — the Deployments themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apiserver.client import APIClient
+from repro.apiserver.errors import ApiError
+from repro.objects.kinds import make_configmap, make_container, make_deployment, make_service
+
+#: Label shared by every service-application pod; the Service selects on it.
+APP_LABEL = {"tier": "webapp"}
+
+#: Name of the Service fronting the application.
+SERVICE_NAME = "webapp"
+
+#: Name of the ConfigMap providing the random seed volume.
+SEED_CONFIGMAP = "webapp-seed"
+
+
+class ServiceApplication:
+    """Creates and manages the benchmark service application."""
+
+    def __init__(self, client: APIClient, namespace: str = "default"):
+        self.client = client
+        self.namespace = namespace
+        self.deployment_names: list[str] = []
+
+    # ------------------------------------------------------------------ setup
+
+    def create_shared_objects(self) -> None:
+        """Create the ConfigMap and Service the application depends on."""
+        self.client.create(
+            "ConfigMap",
+            make_configmap(SEED_CONFIGMAP, namespace=self.namespace, data={"seed": "42"}),
+        )
+        self.client.create(
+            "Service",
+            make_service(
+                SERVICE_NAME,
+                namespace=self.namespace,
+                selector=dict(APP_LABEL),
+                port=80,
+                target_port=8080,
+                cluster_ip="10.96.10.10",
+            ),
+        )
+
+    def deployment_manifest(self, name: str, replicas: int) -> dict:
+        """Build one service-application Deployment manifest."""
+        labels = dict(APP_LABEL)
+        labels["app"] = name
+        containers = [
+            make_container(
+                name="webapp",
+                image="repro/flask-app:1.0",
+                command=["python", "app.py"],
+                cpu_request="500m",
+                memory_request="256Mi",
+                cpu_limit="1",
+                memory_limit="512Mi",
+                port=8080,
+            )
+        ]
+        deployment = make_deployment(
+            name,
+            namespace=self.namespace,
+            replicas=replicas,
+            labels=labels,
+            containers=containers,
+            max_unavailable=0,
+            max_surge=1,
+        )
+        deployment["spec"]["template"]["spec"]["volumes"] = [
+            {"name": "seed", "configMap": {"name": SEED_CONFIGMAP}}
+        ]
+        return deployment
+
+    def create_deployment(self, name: str, replicas: int) -> dict:
+        """Create one application Deployment and remember its name."""
+        deployment = self.client.create("Deployment", self.deployment_manifest(name, replicas))
+        self.deployment_names.append(name)
+        return deployment
+
+    def create_deployments(self, count: int, replicas: int, prefix: str = "webapp") -> list[dict]:
+        """Create ``count`` Deployments with ``replicas`` replicas each."""
+        return [
+            self.create_deployment(f"{prefix}-{index + 1}", replicas) for index in range(count)
+        ]
+
+    # ------------------------------------------------------------------ state
+
+    def expected_replicas(self) -> int:
+        """Total replicas currently requested across the application Deployments."""
+        total = 0
+        for name in self.deployment_names:
+            try:
+                deployment = self.client.get("Deployment", name, namespace=self.namespace)
+            except ApiError:
+                continue
+            replicas = deployment.get("spec", {}).get("replicas", 0)
+            if isinstance(replicas, int) and not isinstance(replicas, bool):
+                total += replicas
+        return total
+
+    def scale(self, name: str, replicas: int) -> Optional[dict]:
+        """Scale one Deployment (returns the updated object, or None on error)."""
+        try:
+            deployment = self.client.get("Deployment", name, namespace=self.namespace)
+            deployment["spec"]["replicas"] = replicas
+            return self.client.update("Deployment", deployment)
+        except ApiError:
+            return None

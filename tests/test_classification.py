@@ -1,0 +1,244 @@
+"""Unit tests for failure classification (OF and CF) and the golden baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import (
+    ClientFailure,
+    ClientObservations,
+    GoldenBaseline,
+    OrchestratorFailure,
+    OrchestratorObservations,
+    classify_client,
+    classify_orchestrator,
+    detect_unreachable_tail,
+    mean_absolute_error,
+    most_severe_cf,
+    most_severe_of,
+)
+
+
+def _baseline(expected=6, errors_mean=0.0):
+    baseline = GoldenBaseline.from_golden_runs(
+        workload="deploy",
+        series=[[0.05] * 100, [0.05] * 100, [0.052] * 100],
+        expected_replicas=expected,
+        expected_endpoints=expected,
+        pods_created=[6, 6, 6],
+        settle_times=[10.0, 11.0, 10.5],
+        client_errors=[int(errors_mean)] * 3,
+    )
+    return baseline
+
+
+def _healthy_observations(expected=6):
+    return OrchestratorObservations(
+        final_ready_replicas=expected,
+        final_desired_replicas=expected,
+        final_endpoints=expected,
+        peak_total_pods=expected + 7,
+        final_total_pods=expected + 7,
+        pods_created=6,
+        network_manager_ready=5,
+        dns_ready=2,
+        expected_network_manager=5,
+        settle_time=10.0,
+        final_reachability=1.0,
+    )
+
+
+# ----------------------------------------------------------- severity order
+
+
+def test_severity_ordering():
+    assert most_severe_of([OrchestratorFailure.LER, OrchestratorFailure.OUT]) == OrchestratorFailure.OUT
+    assert most_severe_of([OrchestratorFailure.TIM, OrchestratorFailure.NET]) == OrchestratorFailure.NET
+    assert most_severe_of([]) == OrchestratorFailure.NO
+    assert most_severe_cf([ClientFailure.HRT, ClientFailure.SU]) == ClientFailure.SU
+    assert most_severe_cf([]) == ClientFailure.NSI
+
+
+# ------------------------------------------------------------ MAE machinery
+
+
+def test_mean_absolute_error_alignment_and_padding():
+    assert mean_absolute_error([1.0, 1.0], [1.0, 1.0]) == 0.0
+    assert mean_absolute_error([1.0], [1.0, 1.0]) == pytest.approx(0.5)
+    assert mean_absolute_error([], []) == 0.0
+
+
+def test_mae_zscore_floor_prevents_degenerate_std():
+    baseline = _baseline()
+    # A series identical to the baseline has a z-score near zero even though
+    # the golden MAEs are nearly identical to each other.
+    assert abs(baseline.mae_zscore([0.05] * 100)) < 2.0
+    # A grossly degraded series exceeds the HRT threshold.
+    assert baseline.mae_zscore([0.5] * 100) > 2.0
+
+
+def test_settle_time_zscore_handles_missing():
+    baseline = _baseline()
+    assert baseline.settle_time_zscore(None) == float("inf")
+    assert baseline.settle_time_zscore(10.5) < 3.0
+    assert baseline.settle_time_zscore(100.0) > 3.0
+
+
+# ---------------------------------------------------------- OF classification
+
+
+def test_healthy_run_classified_no():
+    assert classify_orchestrator(_healthy_observations(), _baseline()) == OrchestratorFailure.NO
+
+
+def test_less_resources():
+    observations = _healthy_observations()
+    observations.final_ready_replicas = 4
+    observations.final_endpoints = 4
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.LER
+
+
+def test_more_resources():
+    observations = _healthy_observations()
+    observations.final_ready_replicas = 9
+    observations.final_endpoints = 9
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.MOR
+
+
+def test_net_failure_right_pods_wrong_networking():
+    observations = _healthy_observations()
+    observations.final_endpoints = 3
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.NET
+    observations = _healthy_observations()
+    observations.unreachable_running_pods = 2
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.NET
+
+
+def test_stall_from_uncontrolled_spawn():
+    observations = _healthy_observations()
+    observations.pods_created = 200
+    observations.pod_count_growing = True
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.STA
+
+
+def test_stall_from_lost_leadership_or_etcd_alarm():
+    observations = _healthy_observations()
+    observations.kcm_is_leader = False
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.STA
+    observations = _healthy_observations()
+    observations.etcd_alarm = True
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.STA
+
+
+def test_stall_from_degraded_network_manager():
+    observations = _healthy_observations()
+    observations.network_manager_ready = 3
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.STA
+
+
+def test_outage_from_dns_or_network_collapse():
+    observations = _healthy_observations()
+    observations.dns_ready = 0
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.OUT
+    observations = _healthy_observations()
+    observations.network_manager_ready = 0
+    observations.final_reachability = 0.0
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.OUT
+    observations = _healthy_observations()
+    observations.final_endpoints = 0
+    observations.final_reachability = 0.0
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.OUT
+
+
+def test_timing_failure_from_restarts_or_slow_settle():
+    observations = _healthy_observations()
+    observations.app_pod_restarts = 1
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.TIM
+    observations = _healthy_observations()
+    observations.settle_time = 55.0
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.TIM
+
+
+def test_most_severe_category_wins():
+    observations = _healthy_observations()
+    observations.final_ready_replicas = 4  # LeR
+    observations.dns_ready = 0  # Out
+    assert classify_orchestrator(observations, _baseline()) == OrchestratorFailure.OUT
+
+
+# ---------------------------------------------------------- CF classification
+
+
+def test_client_nsi_for_clean_run():
+    baseline = _baseline()
+    failure, zscore = classify_client(
+        ClientObservations(latency_series=[0.05] * 100, total_requests=100), baseline
+    )
+    assert failure == ClientFailure.NSI
+    assert zscore < 2.0
+
+
+def test_client_hrt_for_slow_run():
+    baseline = _baseline()
+    failure, zscore = classify_client(
+        ClientObservations(latency_series=[0.3] * 100, total_requests=100), baseline
+    )
+    assert failure == ClientFailure.HRT
+    assert zscore > 2.0
+
+
+def test_client_ia_for_intermittent_errors():
+    baseline = _baseline()
+    series = [0.05] * 90 + [0.0] * 5 + [0.05] * 5
+    failure, _ = classify_client(
+        ClientObservations(latency_series=series, error_count=5, error_bursts=1, total_requests=100),
+        baseline,
+    )
+    assert failure in (ClientFailure.IA, ClientFailure.HRT)
+    assert failure != ClientFailure.SU
+
+
+def test_client_su_for_unreachable_tail():
+    baseline = _baseline()
+    series = [0.05] * 50 + [0.0] * 50
+    failure, _ = classify_client(
+        ClientObservations(
+            latency_series=series,
+            error_count=50,
+            error_bursts=1,
+            total_requests=100,
+            unreachable_from_some_point=True,
+        ),
+        baseline,
+    )
+    assert failure == ClientFailure.SU
+
+
+def test_client_errors_compared_against_golden_level():
+    # Golden runs of the deploy workload already fail ~140 requests while the
+    # service comes up; the same number of errors must not classify as IA.
+    baseline = _baseline(errors_mean=140)
+    failure, _ = classify_client(
+        ClientObservations(latency_series=[0.05] * 100, error_count=140, total_requests=100),
+        baseline,
+    )
+    assert failure == ClientFailure.NSI
+
+
+def test_detect_unreachable_tail():
+    assert detect_unreachable_tail([True] * 10 + [False] * 20)
+    assert not detect_unreachable_tail([False] * 20 + [True] * 10)
+    assert not detect_unreachable_tail([True] * 30)
+    assert not detect_unreachable_tail([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50))
+def test_classification_is_total(series):
+    # Any latency series classifies into exactly one category without raising.
+    baseline = _baseline()
+    failure, zscore = classify_client(
+        ClientObservations(latency_series=series, total_requests=len(series)), baseline
+    )
+    assert failure in ClientFailure
+    assert isinstance(zscore, float)

@@ -1,0 +1,167 @@
+"""Tests for the FFDA dataset, the post-campaign analyses and the reports."""
+
+from repro.core import ffda
+from repro.core.analysis import (
+    categorize_field,
+    client_impact_analysis,
+    critical_field_analysis,
+    no_effect_fraction,
+    system_wide_fraction,
+    user_error_analysis,
+)
+from repro.core.classification import ClientFailure, OrchestratorFailure
+from repro.core.experiment import ExperimentResult
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.core.report import (
+    render_critical_fields,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table1,
+    render_table6,
+    render_table7,
+)
+from repro.workloads.workload import WorkloadKind
+
+# -------------------------------------------------------------------- FFDA
+
+
+def test_incident_dataset_matches_paper_marginals():
+    assert ffda.incident_count() == 81
+    assert ffda.misconfiguration_count() == 33
+    assert ffda.outage_count() == 15
+    by_fault = ffda.count_by_fault()
+    assert by_fault["Bug"] == 13
+    assert ffda.count_by_error()["Communication"] == 19
+
+
+def test_replicable_majority():
+    # The paper reports 54/81 incidents replicable by etcd-level alterations.
+    assert ffda.replicable_count() > ffda.incident_count() / 2
+
+
+def test_coverage_table_structure():
+    coverage = ffda.coverage_table()
+    assert set(coverage) == {"errors", "failures"}
+    markers = {marker for rows in coverage["errors"].values() for _, marker in rows}
+    assert "replicable" in markers and "not-replicable" in markers
+    failure_markers = {marker for rows in coverage["failures"].values() for _, marker in rows}
+    assert "mutiny-only" in failure_markers
+    # Every taxonomy subcategory appears exactly once.
+    error_rows = sum(len(rows) for rows in coverage["errors"].values())
+    assert error_rows == sum(len(subs) for subs in ffda.ERROR_SUBCATEGORIES.values())
+
+
+def test_incident_records_have_consistent_subcategories():
+    for incident in ffda.INCIDENTS:
+        assert incident.error_subcategory in ffda.ERROR_SUBCATEGORIES[incident.error]
+        if incident.failure in ffda.FAILURE_SUBCATEGORIES:
+            assert incident.failure_subcategory in ffda.FAILURE_SUBCATEGORIES[incident.failure]
+
+
+# ------------------------------------------------------------ field analysis
+
+
+def _result(of, cf, field_path, kind="Deployment", user_error=False, zscore=0.0):
+    fault = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind=kind,
+        field_path=field_path,
+        fault_type=FaultType.BIT_FLIP,
+    )
+    result = ExperimentResult(workload=WorkloadKind.DEPLOY, fault=fault, seed=0)
+    result.orchestrator_failure = of
+    result.client_failure = cf
+    result.client_zscore = zscore
+    result.user_error_count = 1 if user_error else 0
+    result.user_request_count = 3
+    result.injected = True
+    return result
+
+
+def test_categorize_field_groups():
+    assert categorize_field("metadata.labels.app") == "dependency"
+    assert categorize_field("spec.selector.matchLabels.app") == "dependency"
+    assert categorize_field("metadata.ownerReferences.0.uid") == "dependency"
+    assert categorize_field("metadata.namespace") == "identity"
+    assert categorize_field("metadata.uid") == "identity"
+    assert categorize_field("status.podIP") == "networking"
+    assert categorize_field("spec.ports.0.port") == "networking"
+    assert categorize_field("spec.replicas") == "replicas"
+    assert categorize_field("spec.template.spec.containers.0.image") == "image/command"
+    assert categorize_field(None) == "serialization/message"
+    assert categorize_field("spec.priority") == "other"
+
+
+def test_critical_field_analysis_counts_dependency_share():
+    results = [
+        _result(OrchestratorFailure.STA, ClientFailure.NSI, "spec.selector.matchLabels.app"),
+        _result(OrchestratorFailure.OUT, ClientFailure.SU, "metadata.labels.app", kind="Pod"),
+        _result(OrchestratorFailure.NO, ClientFailure.SU, "metadata.namespace"),
+        _result(OrchestratorFailure.LER, ClientFailure.NSI, "spec.replicas"),
+    ]
+    report = critical_field_analysis(results)
+    assert report.critical_experiments == 3
+    assert report.injections_per_category["dependency"] == 2
+    assert report.injections_per_category["identity"] == 1
+    assert 0.6 < report.dependency_share < 0.7
+    assert len(report.critical_fields) == 3
+
+
+def test_user_error_analysis_silent_fraction():
+    results = [
+        _result(OrchestratorFailure.STA, ClientFailure.NSI, "a", user_error=False),
+        _result(OrchestratorFailure.STA, ClientFailure.NSI, "b", user_error=True),
+        _result(OrchestratorFailure.NO, ClientFailure.NSI, "c", user_error=False),
+    ]
+    report = user_error_analysis(results)
+    assert report.per_failure["Sta"] == (2, 1)
+    assert report.per_failure["No"] == (1, 0)
+    assert report.silent_failure_fraction == 0.5
+
+
+def test_client_impact_and_fractions():
+    results = [
+        _result(OrchestratorFailure.NO, ClientFailure.NSI, "a", zscore=0.1),
+        _result(OrchestratorFailure.MOR, ClientFailure.HRT, "b", zscore=4.0),
+        _result(OrchestratorFailure.STA, ClientFailure.NSI, "c", zscore=1.0),
+        _result(OrchestratorFailure.OUT, ClientFailure.SU, "d", zscore=12.0),
+    ]
+    impact = client_impact_analysis(results)
+    assert impact.summary()["MoR"]["max"] == 4.0
+    assert no_effect_fraction(results) == 0.25
+    assert system_wide_fraction(results) == 0.5
+
+
+# ----------------------------------------------------------------- renderers
+
+
+def test_render_table1_mentions_counts():
+    text = render_table1()
+    assert "Total incidents: 81" in text
+    assert "Human Mistake" in text
+
+
+def test_render_table6_and_table7():
+    rows = [
+        {"workload": "deploy", "component": "kube-controller-manager", "injections": 10,
+         "propagated": 4, "errors": 2},
+    ]
+    table6 = render_table6(rows)
+    assert "kube-controller-manager" in table6
+    table7 = render_table7()
+    assert "Wrong label" in table7 and "replicable" in table7
+
+
+def test_render_figures_and_critical_fields():
+    results = [
+        _result(OrchestratorFailure.STA, ClientFailure.NSI, "metadata.labels.app", zscore=1.5),
+        _result(OrchestratorFailure.NO, ClientFailure.NSI, "spec.replicas", zscore=0.2),
+    ]
+    assert "Figure 6" in render_figure6(results)
+    figure7 = render_figure7(results)
+    assert "Figure 7" in figure7 and "silent failures" in figure7
+    figure5 = render_figure5([0.05] * 10, [0.0] * 10, zscore=11.0)
+    assert "z-score 11.0" in figure5
+    critical = render_critical_fields(results)
+    assert "dependency" in critical

@@ -1,0 +1,305 @@
+"""Unit tests for the Mutiny injector: the where/what/when triplet."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apiserver.apiserver import WriteContext
+from repro.apiserver.client import RequestContext
+from repro.core.injector import (
+    FaultSpec,
+    FaultType,
+    InjectionChannel,
+    MutinyInjector,
+    flip_bool,
+    flip_int_bit,
+    flip_str_char_bit,
+)
+from repro.objects.kinds import make_deployment, make_pod
+from repro.serialization import DecodeError, decode, encode
+
+
+def _etcd_context(kind="Deployment", name="web", namespace="default"):
+    return WriteContext(
+        kind=kind, key=f"/registry/x/{namespace}/{name}", operation="update",
+        actor="apiserver", name=name, namespace=namespace,
+    )
+
+
+def _component_context(kind="Pod", name="p", component="kube-controller-manager"):
+    return RequestContext(
+        component=component, kind=kind, operation="update", name=name, namespace="default"
+    )
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def test_flip_int_bit():
+    assert flip_int_bit(2, 0) == 3
+    assert flip_int_bit(2, 4) == 18
+    assert flip_int_bit(flip_int_bit(7, 3), 3) == 7
+
+
+def test_flip_str_char_bit_yields_valid_string():
+    assert flip_str_char_bit("webapp", 0) == "vebapp"
+    assert flip_str_char_bit("webapp", 1) == "wdbapp"
+    assert flip_str_char_bit("", 0) == ""
+    # Index past the end flips the last character instead of crashing.
+    assert flip_str_char_bit("a", 10) == "`"
+
+
+def test_flip_bool():
+    assert flip_bool(True) is False
+    assert flip_bool(False) is True
+
+
+# -------------------------------------------------------------- field faults
+
+
+def test_bitflip_on_integer_field_fires_at_requested_occurrence():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        field_path="spec.replicas",
+        fault_type=FaultType.BIT_FLIP,
+        bit_index=0,
+        occurrence=2,
+    )
+    injector = MutinyInjector(spec)
+    deployment = make_deployment("web", replicas=2)
+    data = encode(deployment)
+    first = injector.etcd_write_hook(_etcd_context(), data)
+    assert decode(first)["spec"]["replicas"] == 2
+    assert not injector.injected
+    second = injector.etcd_write_hook(_etcd_context(), data)
+    assert decode(second)["spec"]["replicas"] == 3
+    assert injector.injected
+    assert injector.record.original_value == 2
+    assert injector.record.injected_value == 3
+    # Only one injection per experiment: later messages pass through untouched.
+    third = injector.etcd_write_hook(_etcd_context(), data)
+    assert decode(third)["spec"]["replicas"] == 2
+    assert injector.post_injection_observations == 1
+    assert injector.activated
+
+
+def test_value_set_on_string_field():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        field_path="metadata.labels.app",
+        fault_type=FaultType.DATA_TYPE_SET,
+        set_value="",
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    pod = make_pod("p", labels={"app": "web"})
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), encode(pod))
+    assert decode(out)["metadata"]["labels"]["app"] == ""
+
+
+def test_boolean_field_inverted():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Node",
+        field_path="spec.unschedulable",
+        fault_type=FaultType.BIT_FLIP,
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    obj = {"kind": "Node", "metadata": {"name": "n"}, "spec": {"unschedulable": False}}
+    out = injector.etcd_write_hook(_etcd_context(kind="Node", name="n"), encode(obj))
+    assert decode(out)["spec"]["unschedulable"] is True
+
+
+def test_missing_field_does_not_consume_occurrence():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        field_path="status.podIP",
+        fault_type=FaultType.DATA_TYPE_SET,
+        set_value="0.0.0.0",
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    pod_without_ip = make_pod("p")
+    del pod_without_ip["status"]["podIP"]
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), encode(pod_without_ip))
+    assert not injector.injected
+    pod_with_ip = make_pod("p")
+    pod_with_ip["status"]["podIP"] = "10.0.0.1"
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), encode(pod_with_ip))
+    assert decode(out)["status"]["podIP"] == "0.0.0.0"
+    assert injector.injected
+
+
+def test_kind_and_name_filters():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        name="webapp-1",
+        field_path="spec.replicas",
+        fault_type=FaultType.BIT_FLIP,
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    other = make_deployment("other", replicas=2)
+    out = injector.etcd_write_hook(_etcd_context(name="other"), encode(other))
+    assert not injector.injected and decode(out)["spec"]["replicas"] == 2
+    target = make_deployment("webapp-1", replicas=2)
+    injector.etcd_write_hook(_etcd_context(name="webapp-1"), encode(target))
+    assert injector.injected
+
+
+def test_occurrence_counted_per_instance():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        field_path="spec.replicas",
+        fault_type=FaultType.BIT_FLIP,
+        occurrence=2,
+    )
+    injector = MutinyInjector(spec)
+    a = make_deployment("a", replicas=2)
+    b = make_deployment("b", replicas=2)
+    injector.etcd_write_hook(_etcd_context(name="a"), encode(a))
+    out_b = injector.etcd_write_hook(_etcd_context(name="b"), encode(b))
+    # Each instance has its own occurrence counter: b's first message is not
+    # the second occurrence for b.
+    assert decode(out_b)["spec"]["replicas"] == 2
+    out_a = injector.etcd_write_hook(_etcd_context(name="a"), encode(a))
+    assert decode(out_a)["spec"]["replicas"] == 3
+
+
+# ------------------------------------------------------------ message drops
+
+
+def test_message_drop_returns_none_once():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        fault_type=FaultType.MESSAGE_DROP,
+        occurrence=3,
+    )
+    injector = MutinyInjector(spec)
+    pod = make_pod("p")
+    data = encode(pod)
+    context = _etcd_context(kind="Pod", name="p")
+    assert injector.etcd_write_hook(context, data) is not None
+    assert injector.etcd_write_hook(context, data) is not None
+    assert injector.etcd_write_hook(context, data) is None
+    assert injector.record.dropped
+    assert injector.etcd_write_hook(context, data) is not None
+
+
+# -------------------------------------------------------- serialization bytes
+
+
+def test_proto_byte_flip_changes_exactly_one_bit():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        fault_type=FaultType.PROTO_BYTE_FLIP,
+        bit_index=37,
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    data = encode(make_pod("p"))
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), data)
+    assert out is not None and len(out) == len(data)
+    differing = [index for index in range(len(data)) if data[index] != out[index]]
+    assert len(differing) == 1
+    xor = data[differing[0]] ^ out[differing[0]]
+    assert xor and (xor & (xor - 1)) == 0  # exactly one bit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_proto_byte_flip_outcomes_are_decode_or_decodeerror(bit_index):
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        fault_type=FaultType.PROTO_BYTE_FLIP,
+        bit_index=bit_index,
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    data = encode(make_pod("p", labels={"app": "web"}))
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), data)
+    try:
+        decode(out)
+        assert injector.record.decode_failed_after is False
+    except DecodeError:
+        assert injector.record.decode_failed_after is True
+
+
+# -------------------------------------------------- component→apiserver channel
+
+
+def test_component_channel_matches_component_prefix():
+    spec = FaultSpec(
+        channel=InjectionChannel.COMPONENT_TO_APISERVER,
+        kind="Pod",
+        field_path="status.podIP",
+        component="kubelet",
+        fault_type=FaultType.DATA_TYPE_SET,
+        set_value="10.9.9.9",
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    pod = make_pod("p")
+    pod["status"]["podIP"] = "10.244.0.5"
+    data = encode(pod)
+    untouched = injector.component_request_hook(
+        _component_context(component="kube-scheduler"), data
+    )
+    assert decode(untouched)["status"]["podIP"] == "10.244.0.5"
+    out = injector.component_request_hook(
+        _component_context(component="kubelet-worker-1"), data
+    )
+    assert decode(out)["status"]["podIP"] == "10.9.9.9"
+
+
+def test_channels_do_not_cross_match():
+    spec = FaultSpec(
+        channel=InjectionChannel.COMPONENT_TO_APISERVER,
+        kind="Pod",
+        field_path="status.podIP",
+        fault_type=FaultType.DATA_TYPE_SET,
+        set_value="x",
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    pod = make_pod("p")
+    out = injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), encode(pod))
+    assert not injector.injected
+    assert decode(out) == pod
+
+
+def test_arm_resets_state():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Pod",
+        fault_type=FaultType.MESSAGE_DROP,
+        occurrence=1,
+    )
+    injector = MutinyInjector(spec)
+    injector.etcd_write_hook(_etcd_context(kind="Pod", name="p"), encode(make_pod("p")))
+    assert injector.injected
+    injector.arm(spec)
+    assert not injector.injected
+    assert injector.matches_seen == 0
+
+
+def test_describe_is_human_readable():
+    spec = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        name="webapp-1",
+        field_path="spec.replicas",
+        fault_type=FaultType.BIT_FLIP,
+        occurrence=3,
+    )
+    text = spec.describe()
+    assert "Deployment" in text and "spec.replicas" in text and "3" in text

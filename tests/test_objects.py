@@ -1,0 +1,235 @@
+"""Unit tests for the object model: metadata, selectors, quantities, kinds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.kinds import (
+    KINDS,
+    make_daemonset,
+    make_deployment,
+    make_endpoints,
+    make_lease,
+    make_namespace,
+    make_node,
+    make_pod,
+    make_replicaset,
+    make_service,
+)
+from repro.objects.meta import (
+    controller_owner,
+    deep_copy,
+    make_object_meta,
+    make_owner_reference,
+    new_uid,
+    object_key,
+    owner_uids,
+    reset_uid_counter,
+)
+from repro.objects.quantities import (
+    QuantityError,
+    node_allocatable,
+    parse_cpu,
+    parse_memory,
+    pod_resource_request,
+    safe_parse_cpu,
+    safe_parse_memory,
+)
+from repro.objects.selectors import labels_subset, matches_selector, selector_from_labels
+
+# ------------------------------------------------------------------ metadata
+
+
+def test_uids_are_unique_and_resettable():
+    reset_uid_counter()
+    first = new_uid()
+    second = new_uid()
+    assert first != second
+    reset_uid_counter()
+    assert new_uid() == first
+
+
+def test_object_meta_defaults():
+    meta = make_object_meta("web", namespace="prod", labels={"app": "web"})
+    assert meta["name"] == "web"
+    assert meta["namespace"] == "prod"
+    assert meta["labels"] == {"app": "web"}
+    assert meta["ownerReferences"] == []
+    assert meta["resourceVersion"] == 0
+
+
+def test_owner_reference_roundtrip():
+    replicaset = make_replicaset("rs", replicas=1)
+    pod = make_pod("pod", owner_references=[make_owner_reference(replicaset)])
+    assert replicaset["metadata"]["uid"] in owner_uids(pod)
+    owner = controller_owner(pod)
+    assert owner is not None and owner["kind"] == "ReplicaSet"
+
+
+def test_owner_uids_tolerates_corruption():
+    pod = make_pod("pod")
+    pod["metadata"]["ownerReferences"] = "corrupted"
+    assert owner_uids(pod) == set()
+    assert controller_owner(pod) is None
+    pod["metadata"] = None
+    assert owner_uids(pod) == set()
+
+
+def test_object_key_and_deep_copy():
+    pod = make_pod("p", namespace="ns1")
+    assert object_key(pod) == "ns1/p"
+    clone = deep_copy(pod)
+    clone["metadata"]["name"] = "other"
+    assert pod["metadata"]["name"] == "p"
+    assert object_key({"metadata": None}) == "<corrupted>/<corrupted>"
+
+
+# ----------------------------------------------------------------- selectors
+
+
+def test_match_labels_selector():
+    pod = make_pod("p", labels={"app": "web", "tier": "frontend"})
+    assert matches_selector({"matchLabels": {"app": "web"}}, pod)
+    assert not matches_selector({"matchLabels": {"app": "db"}}, pod)
+    assert not matches_selector({"matchLabels": {"app": "web", "extra": "x"}}, pod)
+
+
+def test_match_expressions_selector():
+    pod = make_pod("p", labels={"app": "web"})
+    assert matches_selector(
+        {"matchExpressions": [{"key": "app", "operator": "In", "values": ["web", "api"]}]}, pod
+    )
+    assert not matches_selector(
+        {"matchExpressions": [{"key": "app", "operator": "NotIn", "values": ["web"]}]}, pod
+    )
+    assert matches_selector({"matchExpressions": [{"key": "app", "operator": "Exists"}]}, pod)
+    assert matches_selector(
+        {"matchExpressions": [{"key": "missing", "operator": "DoesNotExist"}]}, pod
+    )
+
+
+def test_empty_or_corrupted_selector_matches_nothing():
+    pod = make_pod("p", labels={"app": "web"})
+    assert not matches_selector({}, pod)
+    assert not matches_selector(None, pod)
+    assert not matches_selector("corrupted", pod)
+    assert not matches_selector({"matchLabels": "corrupted"}, pod)
+
+
+def test_single_character_label_corruption_breaks_match():
+    # The F2 failure mechanism: one flipped character silently breaks the
+    # controller-pod relationship.
+    pod = make_pod("p", labels={"app": "weaapp"})
+    selector = selector_from_labels({"app": "webapp"})
+    assert not matches_selector(selector, pod)
+
+
+def test_labels_subset():
+    assert labels_subset({"a": "1"}, {"a": "1", "b": "2"})
+    assert not labels_subset({"a": "2"}, {"a": "1"})
+    assert not labels_subset("bad", {"a": "1"})
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=5), st.text(max_size=5), max_size=5))
+def test_selector_from_own_labels_always_matches(labels):
+    pod = make_pod("p", labels=labels)
+    if labels:
+        assert matches_selector(selector_from_labels(labels), pod)
+
+
+# ---------------------------------------------------------------- quantities
+
+
+def test_parse_cpu_forms():
+    assert parse_cpu("500m") == 0.5
+    assert parse_cpu("2") == 2.0
+    assert parse_cpu(1.5) == 1.5
+    assert parse_cpu(None) == 0.0
+
+
+def test_parse_cpu_invalid():
+    for bad in ("", "abc", "-1", True):
+        with pytest.raises(QuantityError):
+            parse_cpu(bad)
+    assert safe_parse_cpu("garbage", default=0.25) == 0.25
+
+
+def test_parse_memory_forms():
+    assert parse_memory("128Mi") == 128 * 1024 * 1024
+    assert parse_memory("1Gi") == 1024**3
+    assert parse_memory("1000") == 1000
+    assert parse_memory("2K") == 2000
+    assert parse_memory(None) == 0
+
+
+def test_parse_memory_invalid():
+    for bad in ("", "xyzMi", True):
+        with pytest.raises(QuantityError):
+            parse_memory(bad)
+    assert safe_parse_memory("bad", default=7) == 7
+
+
+def test_pod_resource_request_sums_containers():
+    pod = make_pod("p")
+    pod["spec"]["containers"][0]["resources"]["requests"] = {"cpu": "500m", "memory": "256Mi"}
+    cpu, memory = pod_resource_request(pod)
+    assert cpu == 0.5
+    assert memory == 256 * 1024 * 1024
+
+
+def test_pod_resource_request_tolerates_corruption():
+    pod = make_pod("p")
+    pod["spec"]["containers"] = "corrupted"
+    assert pod_resource_request(pod) == (0.0, 0)
+    pod["spec"] = None
+    assert pod_resource_request(pod) == (0.0, 0)
+
+
+def test_node_allocatable():
+    node = make_node("n", cpu="8", memory="4Gi")
+    cpu, memory = node_allocatable(node)
+    assert cpu == 8.0
+    assert memory == 4 * 1024**3
+    assert node_allocatable({"status": None}) == (0.0, 0)
+
+
+# --------------------------------------------------------------------- kinds
+
+
+def test_kind_registry_consistency():
+    assert set(KINDS) >= {"Pod", "ReplicaSet", "Deployment", "DaemonSet", "Service", "Node"}
+    for info in KINDS.values():
+        assert info["plural"]
+        assert isinstance(info["namespaced"], bool)
+
+
+def test_manifest_factories_produce_expected_kinds():
+    manifests = {
+        "Pod": make_pod("a"),
+        "ReplicaSet": make_replicaset("a"),
+        "Deployment": make_deployment("a"),
+        "DaemonSet": make_daemonset("a"),
+        "Service": make_service("a"),
+        "Endpoints": make_endpoints("a"),
+        "Node": make_node("a"),
+        "Namespace": make_namespace("a"),
+        "Lease": make_lease("a"),
+    }
+    for kind, manifest in manifests.items():
+        assert manifest["kind"] == kind
+        assert manifest["metadata"]["name"] == "a"
+
+
+def test_deployment_selector_matches_template():
+    deployment = make_deployment("web", replicas=3, labels={"app": "web"})
+    selector = deployment["spec"]["selector"]["matchLabels"]
+    template_labels = deployment["spec"]["template"]["metadata"]["labels"]
+    assert labels_subset(selector, template_labels)
+
+
+def test_daemonset_defaults_to_critical_priority_and_tolerations():
+    daemonset = make_daemonset("net")
+    template_spec = daemonset["spec"]["template"]["spec"]
+    assert template_spec["priority"] > 1_000_000
+    assert template_spec["tolerations"] == [{"operator": "Exists"}]

@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Simulation, SimulationError
+from repro.sim.rng import DeterministicRNG
+
+
+def test_events_run_in_time_order():
+    sim = Simulation()
+    order = []
+    sim.call_at(2.0, lambda: order.append("b"))
+    sim.call_at(1.0, lambda: order.append("a"))
+    sim.call_at(3.0, lambda: order.append("c"))
+    sim.run_until(10.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulation()
+    order = []
+    sim.call_at(1.0, lambda: order.append(1))
+    sim.call_at(1.0, lambda: order.append(2))
+    sim.call_at(1.0, lambda: order.append(3))
+    sim.run_until(1.0)
+    assert order == [1, 2, 3]
+
+
+def test_run_until_stops_at_deadline():
+    sim = Simulation()
+    fired = []
+    sim.call_at(5.0, lambda: fired.append("early"))
+    sim.call_at(15.0, lambda: fired.append("late"))
+    sim.run_until(10.0)
+    assert fired == ["early"]
+    assert sim.now == 10.0
+
+
+def test_run_for_advances_clock_even_without_events():
+    sim = Simulation()
+    sim.run_for(7.5)
+    assert sim.now == 7.5
+
+
+def test_call_after_relative_delay():
+    sim = Simulation()
+    times = []
+    sim.call_after(3.0, lambda: times.append(sim.now))
+    sim.run_for(5.0)
+    assert times == [3.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulation()
+    sim.run_for(10.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulation()
+    fired = []
+    event = sim.call_at(1.0, lambda: fired.append(True))
+    event.cancel()
+    sim.run_until(5.0)
+    assert fired == []
+
+
+def test_recurring_task_fires_periodically():
+    sim = Simulation()
+    times = []
+    sim.call_every(2.0, lambda: times.append(sim.now), delay=2.0)
+    sim.run_until(9.0)
+    assert times == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_recurring_task_stop():
+    sim = Simulation()
+    times = []
+    task = sim.call_every(1.0, lambda: times.append(sim.now), delay=1.0)
+    sim.run_until(3.0)
+    task.stop()
+    sim.run_until(10.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_recurring_task_invalid_period():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.call_every(0.0, lambda: None)
+
+
+def test_max_events_bounds_execution():
+    sim = Simulation()
+    count = []
+    for _ in range(100):
+        sim.call_at(1.0, lambda: count.append(1))
+    sim.run_until(1.0, max_events=10)
+    assert len(count) == 10
+    assert sim.pending_events == 90
+
+
+def test_events_scheduled_during_execution_run_same_pass():
+    sim = Simulation()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.call_after(1.0, lambda: order.append("second"))
+
+    sim.call_at(1.0, first)
+    sim.run_until(5.0)
+    assert order == ["first", "second"]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulation()
+    assert sim.step() is False
+    sim.call_at(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.events_executed == 1
+
+
+def test_rng_attached():
+    sim = Simulation(rng=DeterministicRNG(5))
+    assert sim.rng.seed == 5

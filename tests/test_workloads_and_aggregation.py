@@ -1,0 +1,211 @@
+"""Unit tests for the workload drivers, the application client, and the
+campaign result aggregations behind Tables III-V."""
+
+import pytest
+
+from repro.core.campaign import CampaignResult
+from repro.core.classification import ClientFailure, OrchestratorFailure
+from repro.core.experiment import ExperimentResult
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.core.report import render_table3, render_table4, render_table5
+from repro.network.network import ClusterNetwork
+from repro.objects.kinds import make_node
+from repro.sim.engine import Simulation
+from repro.workloads.appclient import ApplicationClient, RequestSample
+from repro.workloads.scenario import SEED_CONFIGMAP, SERVICE_NAME, ServiceApplication
+from repro.workloads.workload import KbenchDriver, WorkloadKind
+
+# ---------------------------------------------------------------- scenarios
+
+
+def test_service_application_creates_shared_objects(control_plane):
+    application = ServiceApplication(control_plane.admin)
+    application.create_shared_objects()
+    assert control_plane.admin.get("Service", SERVICE_NAME)["spec"]["selector"] == {"tier": "webapp"}
+    assert control_plane.admin.get("ConfigMap", SEED_CONFIGMAP)["data"]["seed"] == "42"
+
+
+def test_service_application_deployments_carry_shared_label_and_volume(control_plane):
+    application = ServiceApplication(control_plane.admin)
+    application.create_shared_objects()
+    application.create_deployments(count=2, replicas=2)
+    assert application.deployment_names == ["webapp-1", "webapp-2"]
+    deployment = control_plane.admin.get("Deployment", "webapp-1")
+    labels = deployment["spec"]["template"]["metadata"]["labels"]
+    assert labels["tier"] == "webapp"
+    volumes = deployment["spec"]["template"]["spec"]["volumes"]
+    assert volumes[0]["configMap"]["name"] == SEED_CONFIGMAP
+    assert application.expected_replicas() == 4
+    application.scale("webapp-1", 5)
+    assert application.expected_replicas() == 7
+
+
+# ------------------------------------------------------------------ kbench
+
+
+def _driver(control_plane, kind, taint_node=None):
+    application = ServiceApplication(control_plane.admin)
+    return KbenchDriver(control_plane.sim, control_plane.admin, application, kind, taint_node=taint_node)
+
+
+def test_deploy_workload_creates_three_deployments(control_plane):
+    driver = _driver(control_plane, WorkloadKind.DEPLOY)
+    driver.setup_scenario()
+    assert control_plane.admin.list("Deployment") == []
+    driver.start()
+    control_plane.sim.run_for(10.0)
+    assert len(control_plane.admin.list("Deployment")) == 3
+    assert driver.expected_total_replicas() == 6
+    assert not driver.failed_requests()
+
+
+def test_scale_workload_steps_to_five_replicas_each(control_plane):
+    driver = _driver(control_plane, WorkloadKind.SCALE_UP)
+    driver.setup_scenario()
+    assert len(control_plane.admin.list("Deployment")) == 2
+    driver.start()
+    control_plane.sim.run_for(5.0)
+    assert control_plane.admin.get("Deployment", "webapp-1")["spec"]["replicas"] == 3
+    control_plane.sim.run_for(30.0)
+    replicas = [d["spec"]["replicas"] for d in control_plane.admin.list("Deployment")]
+    assert replicas == [5, 5]
+    assert driver.expected_total_replicas() == 10
+
+
+def test_failover_workload_taints_the_target_node(control_plane):
+    control_plane.admin.create("Node", make_node("worker-2"))
+    driver = _driver(control_plane, WorkloadKind.FAILOVER, taint_node="worker-2")
+    driver.setup_scenario()
+    driver.start()
+    control_plane.sim.run_for(10.0)
+    node = control_plane.admin.get("Node", "worker-2", namespace=None)
+    effects = [taint["effect"] for taint in node["spec"]["taints"]]
+    assert "NoExecute" in effects
+
+
+def test_failover_without_target_records_user_error(control_plane):
+    driver = _driver(control_plane, WorkloadKind.FAILOVER, taint_node=None)
+    driver.setup_scenario()
+    driver.start()
+    control_plane.sim.run_for(10.0)
+    assert driver.failed_requests()
+
+
+# ------------------------------------------------------------- app client
+
+
+def test_application_client_sends_rate_times_duration_requests(control_plane):
+    network = ClusterNetwork(control_plane.sim, control_plane.apiserver)
+    client = ApplicationClient(
+        control_plane.sim, network, rate=10.0, duration=3.0, expected_backends=1
+    )
+    client.start()
+    with pytest.raises(RuntimeError):
+        client.start()
+    control_plane.sim.run_for(5.0)
+    assert len(client.samples) == 30
+    # No service exists: every request fails, availability is zero and the
+    # time series is padded with zeros.
+    assert client.availability() == 0.0
+    assert set(client.time_series()) == {0.0}
+    assert client.error_burst_count() == 1
+
+
+def test_application_client_error_bursts_and_availability():
+    sim = Simulation()
+    client = ApplicationClient(sim, network=None)  # type: ignore[arg-type]
+    client.samples = [
+        RequestSample(time=0.0, latency=0.05, success=True),
+        RequestSample(time=1.0, latency=0.0, success=False, error="no-endpoints"),
+        RequestSample(time=2.0, latency=0.05, success=True),
+        RequestSample(time=3.0, latency=0.0, success=False, error="no-endpoints"),
+        RequestSample(time=4.0, latency=0.0, success=False, error="no-endpoints"),
+    ]
+    assert client.error_burst_count() == 2
+    assert client.availability() == pytest.approx(0.4)
+    assert len(client.error_samples()) == 3
+
+
+# ------------------------------------------------------------- aggregation
+
+
+def _synthetic_result(workload, fault_type, of, cf, zscore=0.0, activated=True):
+    fault = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        field_path="spec.replicas" if fault_type is not FaultType.MESSAGE_DROP else None,
+        fault_type=fault_type,
+    )
+    result = ExperimentResult(workload=workload, fault=fault, seed=0)
+    result.orchestrator_failure = of
+    result.client_failure = cf
+    result.client_zscore = zscore
+    result.injected = True
+    result.activated = activated
+    return result
+
+
+def _synthetic_campaign() -> CampaignResult:
+    campaign = CampaignResult()
+    campaign.results = [
+        _synthetic_result(WorkloadKind.DEPLOY, FaultType.BIT_FLIP, OrchestratorFailure.NO, ClientFailure.NSI),
+        _synthetic_result(WorkloadKind.DEPLOY, FaultType.BIT_FLIP, OrchestratorFailure.MOR, ClientFailure.HRT, 4.0),
+        _synthetic_result(WorkloadKind.DEPLOY, FaultType.DATA_TYPE_SET, OrchestratorFailure.STA, ClientFailure.NSI),
+        _synthetic_result(WorkloadKind.SCALE_UP, FaultType.MESSAGE_DROP, OrchestratorFailure.LER, ClientFailure.NSI, activated=False),
+        _synthetic_result(WorkloadKind.FAILOVER, FaultType.PROTO_BYTE_FLIP, OrchestratorFailure.OUT, ClientFailure.SU, 12.0),
+    ]
+    return campaign
+
+
+def test_injection_family_mapping():
+    assert CampaignResult.injection_family(None) == "golden"
+    assert CampaignResult.injection_family(FaultSpec(InjectionChannel.APISERVER_TO_ETCD, "Pod")) == "Bit-flip"
+    assert (
+        CampaignResult.injection_family(
+            FaultSpec(InjectionChannel.APISERVER_TO_ETCD, "Pod", fault_type=FaultType.PROTO_BYTE_FLIP)
+        )
+        == "Bit-flip"
+    )
+    assert (
+        CampaignResult.injection_family(
+            FaultSpec(InjectionChannel.APISERVER_TO_ETCD, "Pod", fault_type=FaultType.MESSAGE_DROP)
+        )
+        == "Drop"
+    )
+
+
+def test_of_and_cf_counts_structure():
+    campaign = _synthetic_campaign()
+    of_counts = campaign.of_counts()
+    assert of_counts[("deploy", "Bit-flip")]["No"] == 1
+    assert of_counts[("deploy", "Bit-flip")]["MoR"] == 1
+    assert of_counts[("deploy", "Value set")]["Sta"] == 1
+    assert of_counts[("scale", "Drop")]["LeR"] == 1
+    assert of_counts[("failover", "Bit-flip")]["Out"] == 1
+    cf_counts = campaign.cf_counts()
+    assert cf_counts[("failover", "Bit-flip")]["SU"] == 1
+
+
+def test_of_cf_matrix_and_critical_results():
+    campaign = _synthetic_campaign()
+    matrix = campaign.of_cf_matrix()
+    assert matrix["MoR"]["HRT"] == 1
+    assert matrix["Out"]["SU"] == 1
+    deploy_only = campaign.of_cf_matrix(WorkloadKind.DEPLOY)
+    assert sum(sum(row.values()) for row in deploy_only.values()) == 3
+    critical = campaign.critical_results()
+    assert len(critical) == 2
+    assert campaign.activation_rate() == pytest.approx(0.8)
+    assert campaign.total_experiments() == 5
+
+
+def test_render_tables_from_synthetic_campaign():
+    campaign = _synthetic_campaign()
+    table3 = render_table3(campaign)
+    table4 = render_table4(campaign)
+    table5 = render_table5(campaign)
+    assert "Table III" in table3 and "Out" in table3
+    assert "TOTAL" in table4 and "Sta" in table4
+    assert "TOTAL" in table5 and "SU" in table5
+    scoped = render_table3(campaign, WorkloadKind.DEPLOY)
+    assert "workload=deploy" in scoped
