@@ -17,6 +17,19 @@ def bench_scale() -> int:
         return 1
 
 
+def bench_workers() -> int:
+    """Worker processes for the benchmark campaign, from ``MUTINY_BENCH_WORKERS``.
+
+    Defaults to 1 (serial) so that benchmark outputs are directly comparable
+    across runs; CI runs the suite both serially and with 2 workers and fails
+    on any drift between the two.
+    """
+    try:
+        return max(1, int(os.environ.get("MUTINY_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
 def write_output(name: str, text: str) -> None:
     """Persist a rendered table/figure under ``benchmarks/output/`` and print it."""
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)

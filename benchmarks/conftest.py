@@ -4,14 +4,16 @@ The paper's campaign is ~8,800 experiments on a physical five-node cluster;
 the benchmarks run a scaled-down campaign on the simulated cluster once per
 session and share its results across every table/figure benchmark.  Set
 ``MUTINY_BENCH_SCALE`` to a larger integer to grow the campaign toward the
-paper's size (experiments per workload = 8 × scale).
+paper's size (experiments per workload = 8 × scale), and
+``MUTINY_BENCH_WORKERS`` to the number of worker processes the campaign
+executor may use (results are identical at any worker count).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _benchutil import bench_scale
+from _benchutil import bench_scale, bench_workers
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.workloads.workload import WorkloadKind
 
@@ -24,6 +26,7 @@ def campaign_config() -> CampaignConfig:
         golden_runs=2,
         max_experiments_per_workload=16 * bench_scale(),
         seed=7,
+        workers=bench_workers(),
     )
 
 
@@ -38,7 +41,9 @@ def campaign_result(campaign_config):
 def propagation_rows():
     """Run the Table VI propagation experiments once per session."""
     campaign = Campaign(
-        CampaignConfig(workloads=(WorkloadKind.DEPLOY,), golden_runs=1, seed=11)
+        CampaignConfig(
+            workloads=(WorkloadKind.DEPLOY,), golden_runs=1, seed=11, workers=bench_workers()
+        )
     )
     return campaign.run_propagation(
         components=("kube-controller-manager", "kube-scheduler", "kubelet"),

@@ -10,6 +10,11 @@ Run with::
 
     python examples/mini_campaign.py           # ~15 experiments per workload
     MINI_CAMPAIGN_SIZE=40 python examples/mini_campaign.py
+    MINI_CAMPAIGN_WORKERS=4 python examples/mini_campaign.py   # parallel
+
+The experiments execute through the process-parallel campaign executor;
+``MINI_CAMPAIGN_WORKERS`` sets the worker count (default: one per CPU) and
+any worker count yields identical results.
 """
 
 import os
@@ -29,11 +34,13 @@ from repro.workloads.workload import WorkloadKind
 
 def main() -> None:
     size = int(os.environ.get("MINI_CAMPAIGN_SIZE", "15"))
+    workers = int(os.environ.get("MINI_CAMPAIGN_WORKERS", "0")) or None
     config = CampaignConfig(
         workloads=(WorkloadKind.DEPLOY, WorkloadKind.SCALE_UP, WorkloadKind.FAILOVER),
         golden_runs=2,
         max_experiments_per_workload=size,
         seed=7,
+        workers=workers,
     )
     campaign = Campaign(config)
     print(f"Running a miniature campaign ({size} experiments per workload)...")

@@ -22,12 +22,15 @@ from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.classification import ClientFailure, OrchestratorFailure
 from repro.core.experiment import ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
+from repro.core.parallel import CampaignExecutor, ExperimentTask
 from repro.workloads.workload import WorkloadKind
 
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignExecutor",
     "CampaignResult",
+    "ExperimentTask",
     "ClientFailure",
     "Cluster",
     "ClusterConfig",

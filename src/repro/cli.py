@@ -1,0 +1,268 @@
+"""Command-line interface for running Mutiny campaigns.
+
+Usage::
+
+    python -m repro.cli campaign [--workers N] [--max-experiments M]
+                                 [--checkpoint FILE] [--tables] [--json FILE]
+    python -m repro.cli propagation [--workers N] [--fields-per-component K]
+
+or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
+
+``campaign`` runs the §IV-C injection campaign (golden baselines, field
+recording, generation, execution, classification) through the parallel
+:class:`repro.core.parallel.CampaignExecutor` and prints the paper's tables;
+``propagation`` runs the Table VI component→Apiserver experiments.  With
+``--checkpoint`` a half-finished campaign resumes from the results file on
+the next invocation of the same configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.parallel import CheckpointMismatchError
+from repro.core.report import (
+    render_campaign_summary,
+    render_critical_fields,
+    render_figure6,
+    render_figure7,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.workloads.workload import WorkloadKind
+
+_WORKLOADS = {kind.value: kind for kind in WorkloadKind}
+
+#: Components the propagation experiments know how to hook.  A bare
+#: "kubelet" targets every kubelet; "kubelet-<node>" pins one node's kubelet.
+_COMPONENTS = ("kube-controller-manager", "kube-scheduler", "kubelet")
+
+
+def _parse_workloads(text: str) -> tuple[WorkloadKind, ...]:
+    kinds = []
+    for name in text.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in _WORKLOADS:
+            raise argparse.ArgumentTypeError(
+                f"unknown workload {name!r} (choose from {', '.join(sorted(_WORKLOADS))})"
+            )
+        kinds.append(_WORKLOADS[name])
+    if not kinds:
+        raise argparse.ArgumentTypeError("at least one workload is required")
+    return tuple(kinds)
+
+
+def _parse_components(text: str) -> tuple[str, ...]:
+    names = []
+    for name in text.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in _COMPONENTS and not name.startswith("kubelet-"):
+            raise argparse.ArgumentTypeError(
+                f"unknown component {name!r} (choose from {', '.join(_COMPONENTS)}, "
+                "or kubelet-<node>)"
+            )
+        names.append(name)
+    if not names:
+        raise argparse.ArgumentTypeError("at least one component is required")
+    return tuple(names)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be zero or a positive integer")
+    return value
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads",
+        type=_parse_workloads,
+        default=tuple(WorkloadKind),
+        metavar="LIST",
+        help="comma-separated workloads to run (default: deploy,scale,failover)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="campaign seed (default: 7)")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="experiments per worker batch (default: sized automatically)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines on stderr"
+    )
+
+
+def _make_config(args: argparse.Namespace, max_experiments: Optional[int]) -> CampaignConfig:
+    return CampaignConfig(
+        workloads=args.workloads,
+        golden_runs=getattr(args, "golden_runs", 2),
+        max_experiments_per_workload=max_experiments,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+
+
+def _progress_printer(quiet: bool, started_at: float):
+    if quiet:
+        return None
+
+    def progress(done: int, total: int) -> None:
+        elapsed = time.monotonic() - started_at
+        print(f"[{done}/{total}] experiments done ({elapsed:.1f}s)", file=sys.stderr)
+
+    return progress
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = _make_config(args, args.max_experiments)
+    campaign = Campaign(config)
+    result = campaign.run(
+        progress=_progress_printer(args.quiet, time.monotonic()),
+        checkpoint_path=args.checkpoint,
+    )
+    print(render_campaign_summary(result))
+    if args.tables:
+        for text in (
+            render_table4(result),
+            render_table5(result),
+            render_table3(result),
+            render_figure6(result.results),
+            render_figure7(result.results),
+            render_critical_fields(result.results),
+        ):
+            print()
+            print(text)
+    if args.json:
+        payload = {
+            "experiments": result.total_experiments(),
+            "activation_rate": result.activation_rate(),
+            "classification_counts": result.classification_counts(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_propagation(args: argparse.Namespace) -> int:
+    config = _make_config(args, max_experiments=None)
+    campaign = Campaign(config)
+    rows = campaign.run_propagation(
+        components=args.components,
+        fields_per_component=args.fields_per_component,
+        progress=_progress_printer(args.quiet, time.monotonic()),
+    )
+    print(render_table6(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mutiny-campaign",
+        description="Run Mutiny fault/error injection campaigns (DSN 2024, §IV-C).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run the injection campaign and print the paper's tables"
+    )
+    _add_common_arguments(campaign)
+    campaign.add_argument(
+        "--golden-runs",
+        type=_positive_int,
+        default=2,
+        help="golden runs per workload used for the baseline (default: 2)",
+    )
+    campaign.add_argument(
+        "--max-experiments",
+        type=_non_negative_int,
+        default=60,
+        metavar="M",
+        help="experiments per workload, 0 = the full generated campaign (default: 60)",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="persist results after every batch and resume from FILE if it exists",
+    )
+    campaign.add_argument(
+        "--tables", action="store_true", help="print Tables III-V and Figures 6-7"
+    )
+    campaign.add_argument(
+        "--json", metavar="FILE", default=None, help="write a JSON summary to FILE"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    propagation = subparsers.add_parser(
+        "propagation", help="run the Table VI component-to-Apiserver experiments"
+    )
+    _add_common_arguments(propagation)
+    propagation.add_argument(
+        "--components",
+        type=_parse_components,
+        default=_COMPONENTS,
+        metavar="LIST",
+        help="comma-separated components to inject into "
+        "(kube-controller-manager, kube-scheduler, kubelet, kubelet-<node>)",
+    )
+    propagation.add_argument(
+        "--fields-per-component",
+        type=_positive_int,
+        default=10,
+        metavar="K",
+        help="recorded fields injected per (workload, component) pair (default: 10)",
+    )
+    propagation.set_defaults(func=_cmd_propagation)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli`` and the console script."""
+    args = build_parser().parse_args(argv)
+    if getattr(args, "max_experiments", None) == 0:
+        args.max_experiments = None
+    try:
+        return args.func(args)
+    except CheckpointMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # The consumer of our stdout went away (e.g. `... | head`).  Point
+        # stdout at devnull so the interpreter's final flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

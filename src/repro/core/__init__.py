@@ -4,6 +4,8 @@
 * :mod:`repro.core.campaign` — golden-run field recording and campaign
   generation / execution (§IV-C).
 * :mod:`repro.core.experiment` — a single injection experiment end to end.
+* :mod:`repro.core.parallel` — process-parallel campaign execution with
+  chunked progress reporting and checkpoint/resume.
 * :mod:`repro.core.classification` — orchestrator-level and client-level
   failure classification (§V-B).
 * :mod:`repro.core.ffda` — the field-failure-data-analysis taxonomy and the
@@ -17,14 +19,17 @@ from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.classification import ClientFailure, GoldenBaseline, OrchestratorFailure
 from repro.core.experiment import ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
+from repro.core.parallel import CampaignExecutor, ExperimentTask
 
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignExecutor",
     "CampaignResult",
     "ClientFailure",
     "ExperimentResult",
     "ExperimentRunner",
+    "ExperimentTask",
     "FaultSpec",
     "FaultType",
     "GoldenBaseline",

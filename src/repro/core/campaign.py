@@ -17,6 +17,13 @@ The full campaign of the paper is ~8,800 experiments; the default
 configuration here subsamples the generated specs so the campaign fits in a
 benchmark run, and ``CampaignConfig.max_experiments_per_workload`` scales it
 back up.
+
+Execution is plan-then-execute: the campaign first plans every experiment
+(including its seed), then hands the task list to the
+:class:`repro.core.parallel.CampaignExecutor`, which shards it across worker
+processes (``CampaignConfig.workers``) and merges the results back in plan
+order.  A parallel run is therefore result-identical to a serial run of the
+same configuration.
 """
 
 from __future__ import annotations
@@ -27,6 +34,14 @@ from typing import Any, Optional
 from repro.core.classification import ClientFailure, GoldenBaseline, OrchestratorFailure
 from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.core.parallel import (
+    CampaignExecutor,
+    ExperimentTask,
+    ProgressCallback,
+    WorkloadPrep,
+    load_checkpoint_prep,
+    prep_fingerprint,
+)
 from repro.serialization import iter_field_paths
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.workload import WorkloadKind
@@ -121,6 +136,12 @@ class CampaignConfig:
     max_experiments_per_workload: Optional[int] = 60
     #: Seed controlling subsampling and proto-byte positions.
     seed: int = 7
+    #: Worker processes used to execute the experiments (None = one per CPU,
+    #: 1 = serial in-process execution).  Serial and parallel runs of the
+    #: same configuration produce identical results.
+    workers: Optional[int] = None
+    #: Experiments per batch handed to a worker (None = sized automatically).
+    chunk_size: Optional[int] = None
     #: Experiment timing/sizing.
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
@@ -196,6 +217,16 @@ class CampaignResult:
             elif result.client_failure == ClientFailure.SU:
                 critical.append(result)
         return critical
+
+    def classification_counts(self) -> dict[str, int]:
+        """Failure-class counts keyed ``"OF/CF"``, for drift checks and CLI output."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            of_name = result.orchestrator_failure.value if result.orchestrator_failure else "-"
+            cf_name = result.client_failure.value if result.client_failure else "-"
+            key = f"{of_name}/{cf_name}"
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
 
     def activation_rate(self) -> float:
         """Fraction of injected experiments whose target was used afterwards."""
@@ -324,22 +355,101 @@ class Campaign:
 
     # -------------------------------------------------------------- execution
 
-    def run(self) -> CampaignResult:
-        """Run the whole campaign and return its results."""
-        campaign_result = CampaignResult()
+    def _executor(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> CampaignExecutor:
+        """Build the executor this campaign's configuration asks for."""
+        return CampaignExecutor(
+            self.config.experiment,
+            workers=self.config.workers,
+            chunk_size=self.config.chunk_size,
+            progress=progress,
+            checkpoint_path=checkpoint_path,
+        )
+
+    def _preps(self) -> list[WorkloadPrep]:
+        return [
+            WorkloadPrep(workload=workload, golden_runs=self.config.golden_runs, record_seed=50)
+            for workload in self.config.workloads
+        ]
+
+    def plan_campaign(
+        self,
+        executor: Optional[CampaignExecutor] = None,
+        prepared: Optional[list] = None,
+    ) -> tuple[
+        list[ExperimentTask],
+        dict[str, GoldenBaseline],
+        dict[str, list[RecordedField]],
+    ]:
+        """Prepare every workload and plan the full campaign.
+
+        Golden baselines and field recording fan out across the executor (one
+        prep per workload); spec generation and subsampling stay in the parent
+        because the campaign RNG streams are shared across workloads.  Every
+        planned task carries its seed, fixed by plan position, so execution
+        order cannot change any experiment's outcome.  ``prepared`` lets the
+        caller reuse preparation results (e.g. reloaded from a checkpoint).
+        """
+        if executor is None:
+            with self._executor() as owned:
+                return self.plan_campaign(owned, prepared=prepared)
+        if prepared is None:
+            prepared = executor.prepare_workloads(self._preps())
+
+        tasks: list[ExperimentTask] = []
+        baselines: dict[str, GoldenBaseline] = {}
+        recorded_fields: dict[str, list[RecordedField]] = {}
         experiment_seed = 1000
-        for workload in self.config.workloads:
-            baseline = self.runner.build_baseline(workload, runs=self.config.golden_runs)
-            campaign_result.baselines[workload.value] = baseline
-            recorded = self.record_fields(workload)
-            campaign_result.recorded_fields[workload.value] = recorded
+        for workload, (baseline, recorded) in zip(self.config.workloads, prepared):
+            baselines[workload.value] = baseline
+            recorded_fields[workload.value] = recorded
             for planned in self.plan(workload, recorded):
                 experiment_seed += 1
-                result = self.runner.run_experiment(
-                    planned.workload, planned.fault, baseline=baseline, seed=experiment_seed
+                tasks.append(
+                    ExperimentTask(
+                        index=len(tasks),
+                        workload=planned.workload,
+                        fault=planned.fault,
+                        seed=experiment_seed,
+                    )
                 )
-                campaign_result.results.append(result)
-        return campaign_result
+        return tasks, baselines, recorded_fields
+
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> CampaignResult:
+        """Run the whole campaign and return its results.
+
+        ``progress`` is called as ``progress(done, total)`` whenever a batch
+        of experiments completes.  With ``checkpoint_path`` everything
+        completed so far — golden baselines, field recordings, and results —
+        is persisted after every batch, and a rerun of the same configuration
+        resumes from the file instead of starting over.
+        """
+        with self._executor(progress=progress, checkpoint_path=checkpoint_path) as executor:
+            prepared = None
+            prep_digest = None
+            if checkpoint_path:
+                prep_digest = prep_fingerprint(self.config.experiment, self._preps())
+                prepared = load_checkpoint_prep(checkpoint_path, prep_digest)
+            tasks, baselines, recorded_fields = self.plan_campaign(executor, prepared=prepared)
+            if checkpoint_path:
+                executor.set_checkpoint_prep(
+                    prep_digest,
+                    [
+                        (baselines[workload.value], recorded_fields[workload.value])
+                        for workload in self.config.workloads
+                    ],
+                )
+            results = executor.run_experiments(tasks, baselines=baselines)
+        return CampaignResult(
+            results=results, baselines=baselines, recorded_fields=recorded_fields
+        )
 
     # ---------------------------------------------------- propagation (VI-C4)
 
@@ -347,26 +457,42 @@ class Campaign:
         self,
         components: tuple[str, ...] = ("kube-controller-manager", "kube-scheduler", "kubelet"),
         fields_per_component: int = 10,
+        progress: Optional[ProgressCallback] = None,
     ) -> list[dict]:
         """Run the Table VI propagation experiments.
 
         Bit-flips are injected into the messages the given components send to
         the Apiserver; each row reports whether the corrupted value propagated
-        to etcd (the request was accepted) or an error was logged.
+        to etcd (the request was accepted) or an error was logged.  Like
+        :meth:`run`, the experiments are planned first and executed through
+        the (possibly parallel) campaign executor.
         """
-        rows = []
+        with self._executor(progress=progress) as executor:
+            return self._run_propagation(executor, components, fields_per_component)
+
+    def _run_propagation(
+        self,
+        executor: CampaignExecutor,
+        components: tuple[str, ...],
+        fields_per_component: int,
+    ) -> list[dict]:
+        preps = [
+            WorkloadPrep(workload=workload, golden_runs=0, record_seed=60)
+            for workload in self.config.workloads
+        ]
+        prepared = executor.prepare_workloads(preps)
+
+        tasks: list[ExperimentTask] = []
+        groups: list[tuple[WorkloadKind, str, list[int]]] = []
         experiment_seed = 9000
-        for workload in self.config.workloads:
-            recorded = self.record_fields(workload, seed=60)
+        for workload, (_, recorded) in zip(self.config.workloads, prepared):
             for component in components:
                 relevant = [
                     record
                     for record in recorded
                     if record.kind in self._component_kinds(component)
                 ][:fields_per_component]
-                injections = 0
-                propagated = 0
-                errors = 0
+                indexes: list[int] = []
                 for record in relevant:
                     experiment_seed += 1
                     spec = FaultSpec(
@@ -378,23 +504,41 @@ class Campaign:
                         bit_index=0,
                         occurrence=1,
                     )
-                    result = self.runner.run_experiment(workload, spec, seed=experiment_seed)
-                    if not result.injected:
-                        continue
-                    injections += 1
-                    if result.component_error_count > 0:
-                        errors += 1
-                    else:
-                        propagated += 1
-                rows.append(
-                    {
-                        "workload": workload.value,
-                        "component": component,
-                        "injections": injections,
-                        "propagated": propagated,
-                        "errors": errors,
-                    }
-                )
+                    indexes.append(len(tasks))
+                    tasks.append(
+                        ExperimentTask(
+                            index=len(tasks),
+                            workload=workload,
+                            fault=spec,
+                            seed=experiment_seed,
+                        )
+                    )
+                groups.append((workload, component, indexes))
+
+        results = executor.run_experiments(tasks)
+        rows = []
+        for workload, component, indexes in groups:
+            injections = 0
+            propagated = 0
+            errors = 0
+            for index in indexes:
+                result = results[index]
+                if not result.injected:
+                    continue
+                injections += 1
+                if result.component_error_count > 0:
+                    errors += 1
+                else:
+                    propagated += 1
+            rows.append(
+                {
+                    "workload": workload.value,
+                    "component": component,
+                    "injections": injections,
+                    "propagated": propagated,
+                    "errors": errors,
+                }
+            )
         return rows
 
     @staticmethod

@@ -1,0 +1,408 @@
+"""Process-parallel campaign execution.
+
+Every injection experiment is an independent, deterministically-seeded
+simulation, which makes a campaign embarrassingly parallel: the paper's full
+campaign is ~8,800 experiments (§IV-C) and nothing about one experiment
+depends on another.  The :class:`CampaignExecutor` shards a planned task
+list across a :class:`concurrent.futures.ProcessPoolExecutor`; every worker
+process rebuilds its own :class:`ExperimentRunner` from the picklable
+experiment configuration and runs batches of tasks, and the parent merges
+the results back in plan order.  Because each experiment is fully determined
+by its ``(workload, fault, seed, config)`` tuple, a parallel run produces a
+result list identical to the serial run of the same plan.
+
+The executor also provides chunked progress reporting and checkpointing:
+after every completed batch the results so far can be written to a
+checkpoint file, and a later run of the same plan resumes from it, only
+executing the experiments that are still missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.classification import GoldenBaseline
+from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.core.injector import FaultSpec
+from repro.workloads.workload import WorkloadKind
+
+#: Format version of the checkpoint files (bumped on layout changes).
+CHECKPOINT_VERSION = 1
+
+#: ``progress(done, total)`` callback invoked as batches complete.
+ProgressCallback = Callable[[int, int], None]
+
+
+class CheckpointMismatchError(RuntimeError):
+    """A checkpoint file does not belong to the campaign being executed."""
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One fully-specified experiment: the picklable unit of parallel work."""
+
+    #: Position in the campaign plan; results are merged back in this order.
+    index: int
+    workload: WorkloadKind
+    fault: FaultSpec
+    #: The experiment's simulation seed, fixed at planning time so the
+    #: outcome does not depend on which worker executes the task.
+    seed: int
+
+
+@dataclass(frozen=True)
+class WorkloadPrep:
+    """A golden-baseline + field-recording job for one workload."""
+
+    workload: WorkloadKind
+    #: Golden runs used to build the classification baseline (0 = skip the
+    #: baseline and only record fields, as the propagation experiments do).
+    golden_runs: int
+    #: Seed of the extra golden run that records the fields written to etcd.
+    record_seed: int
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Map a configured worker count onto an effective one (None = all CPUs)."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# --------------------------------------------------------------------------
+# Worker-process functions (module-level so they pickle by reference under
+# both fork and spawn start methods).
+# --------------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(experiment_config: ExperimentConfig) -> None:
+    """Build the per-process runner once instead of once per task."""
+    _WORKER_STATE["runner"] = ExperimentRunner(experiment_config)
+
+
+def _run_batch(
+    tasks: list[ExperimentTask],
+    baselines: dict[str, GoldenBaseline],
+) -> list[tuple[int, ExperimentResult]]:
+    """Run one batch of tasks in a worker process."""
+    runner: ExperimentRunner = _WORKER_STATE["runner"]
+    return [
+        (
+            task.index,
+            runner.run_experiment(
+                task.workload,
+                task.fault,
+                baseline=baselines.get(task.workload.value),
+                seed=task.seed,
+            ),
+        )
+        for task in tasks
+    ]
+
+
+def _prepare_workload(
+    experiment_config: ExperimentConfig, prep: WorkloadPrep
+) -> tuple[Optional[GoldenBaseline], list]:
+    """Build the golden baseline and record the etcd-written fields."""
+    # Imported lazily: campaign.py imports this module for the executor.
+    from repro.core.campaign import FieldRecorder
+
+    runner = ExperimentRunner(experiment_config)
+    baseline = None
+    if prep.golden_runs > 0:
+        baseline = runner.build_baseline(prep.workload, runs=prep.golden_runs)
+    recorder = FieldRecorder()
+    runner.run_golden(prep.workload, seed=prep.record_seed, etcd_observer=recorder)
+    return baseline, recorder.recorded()
+
+
+# --------------------------------------------------------------------------
+# Checkpointing
+# --------------------------------------------------------------------------
+
+
+def tasks_fingerprint(tasks: list[ExperimentTask]) -> str:
+    """A stable digest of a plan, used to match checkpoints to campaigns."""
+    digest = hashlib.sha256()
+    for task in tasks:
+        digest.update(
+            f"{task.index}|{task.workload.value}|{task.seed}|{task.fault!r}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def campaign_fingerprint(
+    tasks: list[ExperimentTask],
+    experiment_config: ExperimentConfig,
+    baselines: Optional[dict[str, GoldenBaseline]] = None,
+) -> str:
+    """Digest of everything that determines a campaign's results.
+
+    Covers the plan *and* the experiment configuration and golden baselines:
+    two campaigns with the same fault plan but different baselines (e.g. a
+    different ``golden_runs``) classify results differently, so their
+    checkpoints must not be mixed.
+    """
+    digest = hashlib.sha256(tasks_fingerprint(tasks).encode("utf-8"))
+    digest.update(repr(experiment_config).encode("utf-8"))
+    for key in sorted(baselines or {}):
+        digest.update(f"{key}|{baselines[key]!r}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def prep_fingerprint(
+    experiment_config: ExperimentConfig, preps: list[WorkloadPrep]
+) -> str:
+    """Digest of everything that determines workload preparation results."""
+    digest = hashlib.sha256(repr(experiment_config).encode("utf-8"))
+    for prep in preps:
+        digest.update(
+            f"{prep.workload.value}|{prep.golden_runs}|{prep.record_seed}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def load_checkpoint_prep(path: str, fingerprint: str) -> Optional[list]:
+    """Load the prepared baselines/recordings of a matching checkpoint.
+
+    Returns ``None`` (recompute) when the file is absent, unreadable, or has
+    no prep section.  A checkpoint whose prep was built under a *different*
+    configuration raises :class:`CheckpointMismatchError` right away: its
+    results could never be resumed either, and failing before the expensive
+    baseline recomputation beats failing after it.
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        prep = payload.get("prep")
+        if payload.get("version") != CHECKPOINT_VERSION or not isinstance(prep, dict):
+            return None
+        stored = prep.get("fingerprint")
+    except Exception:  # noqa: BLE001 - any unreadable file just means "recompute"
+        return None
+    if stored != fingerprint:
+        raise CheckpointMismatchError(
+            f"checkpoint {path!r} was written by a different campaign plan; "
+            "delete it (or point --checkpoint elsewhere) to start fresh"
+        )
+    return prep.get("prepared")
+
+
+def load_checkpoint(path: str, fingerprint: str) -> dict[int, ExperimentResult]:
+    """Load the completed results of a matching checkpoint (empty if absent).
+
+    Raises :class:`CheckpointMismatchError` when the file belongs to a
+    different plan (or is not a readable checkpoint at all) — resuming it
+    would silently mix incompatible results.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception as error:  # noqa: BLE001 - any unreadable file is a mismatch
+        raise CheckpointMismatchError(
+            f"checkpoint {path!r} is not a readable checkpoint file ({error}); "
+            "delete it (or point --checkpoint elsewhere) to start fresh"
+        ) from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != CHECKPOINT_VERSION
+        or payload.get("fingerprint") != fingerprint
+    ):
+        raise CheckpointMismatchError(
+            f"checkpoint {path!r} was written by a different campaign plan; "
+            "delete it (or point --checkpoint elsewhere) to start fresh"
+        )
+    return dict(payload.get("results", {}))
+
+
+def write_checkpoint(
+    path: str,
+    fingerprint: str,
+    results: dict[int, ExperimentResult],
+    prep: Optional[dict] = None,
+) -> None:
+    """Atomically persist the results (and optionally the prep) so far."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "results": results,
+    }
+    if prep is not None:
+        payload["prep"] = prep
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)
+
+
+# --------------------------------------------------------------------------
+# The executor
+# --------------------------------------------------------------------------
+
+
+class CampaignExecutor:
+    """Runs planned experiments, in-process or across a process pool.
+
+    With ``workers <= 1`` (or a single pending task) everything runs in the
+    calling process through exactly the same task functions, so the serial
+    path is the degenerate case of the parallel one rather than a separate
+    code path with separate behaviour.
+
+    The process pool is created lazily on first use and shared between
+    workload preparation and experiment execution (one pool bootstrap per
+    campaign, not one per phase).  Use the executor as a context manager, or
+    call :meth:`close`, to shut the pool down.
+    """
+
+    def __init__(
+        self,
+        experiment_config: Optional[ExperimentConfig] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[str] = None,
+    ):
+        self.experiment_config = (
+            experiment_config if experiment_config is not None else ExperimentConfig()
+        )
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.checkpoint_path = checkpoint_path
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._checkpoint_prep: Optional[dict] = None
+
+    def set_checkpoint_prep(self, fingerprint: str, prepared: list) -> None:
+        """Attach the prepared baselines/recordings to every checkpoint write.
+
+        A resumed campaign then reloads them via :func:`load_checkpoint_prep`
+        instead of re-running the golden baselines and field recording.
+        """
+        self._checkpoint_prep = {"fingerprint": fingerprint, "prepared": prepared}
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.experiment_config,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op if none was ever started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- planning
+
+    def _chunks(self, tasks: list[ExperimentTask], workers: int) -> list[list[ExperimentTask]]:
+        """Shard pending tasks into batches.
+
+        Batches amortize worker dispatch and checkpoint writes; four batches
+        per worker keeps the tail short when experiment durations vary.
+        """
+        if self.chunk_size is not None and self.chunk_size > 0:
+            size = self.chunk_size
+        else:
+            size = max(1, -(-len(tasks) // (workers * 4)))
+        return [tasks[start : start + size] for start in range(0, len(tasks), size)]
+
+    # ------------------------------------------------------------ execution
+
+    def run_experiments(
+        self,
+        tasks: list[ExperimentTask],
+        baselines: Optional[dict[str, GoldenBaseline]] = None,
+    ) -> list[ExperimentResult]:
+        """Run every task and return the results in plan order."""
+        total = len(tasks)
+        fingerprint = campaign_fingerprint(tasks, self.experiment_config, baselines)
+        completed: dict[int, ExperimentResult] = {}
+        if self.checkpoint_path:
+            completed = load_checkpoint(self.checkpoint_path, fingerprint)
+
+        pending = [task for task in tasks if task.index not in completed]
+        if self.progress is not None and completed:
+            self.progress(len(completed), total)
+
+        workers = min(self.workers, max(len(pending), 1))
+        if pending:
+            chunks = self._chunks(pending, workers)
+            if workers <= 1:
+                self._run_serial(chunks, baselines, completed, fingerprint, total)
+            else:
+                self._run_pool(chunks, baselines, completed, fingerprint, total)
+
+        return [completed[task.index] for task in tasks]
+
+    def _finish_batch(
+        self,
+        batch_results: list[tuple[int, ExperimentResult]],
+        completed: dict[int, ExperimentResult],
+        fingerprint: str,
+        total: int,
+    ) -> None:
+        for index, result in batch_results:
+            completed[index] = result
+        if self.checkpoint_path:
+            write_checkpoint(
+                self.checkpoint_path, fingerprint, completed, prep=self._checkpoint_prep
+            )
+        if self.progress is not None:
+            self.progress(len(completed), total)
+
+    def _run_serial(self, chunks, baselines, completed, fingerprint, total) -> None:
+        _init_worker(self.experiment_config)
+        try:
+            for chunk in chunks:
+                self._finish_batch(
+                    _run_batch(chunk, baselines or {}), completed, fingerprint, total
+                )
+        finally:
+            _WORKER_STATE.clear()
+
+    def _run_pool(self, chunks, baselines, completed, fingerprint, total) -> None:
+        pool = self._get_pool()
+        futures = {pool.submit(_run_batch, chunk, baselines or {}) for chunk in chunks}
+        # Merge batches as they complete so checkpoints and progress advance
+        # even while other batches are still running.
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                self._finish_batch(future.result(), completed, fingerprint, total)
+
+    # ---------------------------------------------------------- preparation
+
+    def prepare_workloads(
+        self, preps: list[WorkloadPrep]
+    ) -> list[tuple[Optional[GoldenBaseline], list]]:
+        """Run the golden baseline + field recording for each workload.
+
+        Workload preparations are independent of each other, so they fan out
+        across the pool as well (they are the serial fraction of a campaign
+        otherwise).  Results keep the order of ``preps``.
+        """
+        if self.workers <= 1 or len(preps) <= 1:
+            return [_prepare_workload(self.experiment_config, prep) for prep in preps]
+        pool = self._get_pool()
+        futures = [
+            pool.submit(_prepare_workload, self.experiment_config, prep) for prep in preps
+        ]
+        return [future.result() for future in futures]

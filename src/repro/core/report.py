@@ -37,6 +37,26 @@ def _format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 # --------------------------------------------------------------------------
+# Campaign summary (CLI header)
+# --------------------------------------------------------------------------
+
+
+def render_campaign_summary(campaign: CampaignResult) -> str:
+    """A compact summary of a campaign run, printed by the CLI."""
+    lines = [
+        f"experiments        : {campaign.total_experiments()}",
+        f"activation rate    : {campaign.activation_rate() * 100:.1f}%",
+        f"critical results   : {len(campaign.critical_results())}",
+    ]
+    counts = campaign.classification_counts()
+    if counts:
+        rows = [[key, str(value)] for key, value in counts.items()]
+        lines.append("")
+        lines.append(_format_table(["OF/CF", "count"], rows))
+    return "Campaign summary\n" + "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
 # Table I — fault / error / failure taxonomy with real-world counts
 # --------------------------------------------------------------------------
 

@@ -1,0 +1,286 @@
+"""Tests for the process-parallel campaign execution subsystem.
+
+The contract under test is the one the executor is built around: an
+experiment is fully determined by its ``(workload, fault, seed, config)``
+tuple, so a campaign sharded across worker processes must produce exactly
+the results of the serial run — same classifications, same order — and a
+checkpointed campaign must resume without re-running completed experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.classification import GoldenBaseline
+from repro.core.experiment import ExperimentResult
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.core.parallel import (
+    CampaignExecutor,
+    CheckpointMismatchError,
+    ExperimentTask,
+    campaign_fingerprint,
+    load_checkpoint,
+    resolve_workers,
+    tasks_fingerprint,
+    write_checkpoint,
+)
+from repro.workloads.workload import WorkloadKind
+
+
+def _tiny_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        workloads=(WorkloadKind.DEPLOY,),
+        golden_runs=1,
+        max_experiments_per_workload=4,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+# ----------------------------------------------------------- pure plumbing
+
+
+def test_resolve_workers():
+    assert resolve_workers(3) == 3
+    assert resolve_workers(1) == 1
+    assert resolve_workers(None) >= 1
+    assert resolve_workers(0) == resolve_workers(None)
+
+
+def test_fault_task_and_baseline_pickle_roundtrip():
+    fault = FaultSpec(
+        channel=InjectionChannel.APISERVER_TO_ETCD,
+        kind="Deployment",
+        field_path="spec.replicas",
+        name="webapp-1",
+        namespace="default",
+        fault_type=FaultType.BIT_FLIP,
+        bit_index=4,
+        occurrence=2,
+    )
+    task = ExperimentTask(index=5, workload=WorkloadKind.SCALE_UP, fault=fault, seed=1006)
+    baseline = GoldenBaseline.from_golden_runs(
+        workload="deploy",
+        series=[[0.1, 0.2], [0.1, 0.3]],
+        expected_replicas=6,
+        expected_endpoints=6,
+        pods_created=[10, 11],
+        settle_times=[30.0, 32.0],
+        client_errors=[1, 2],
+    )
+    result = ExperimentResult(workload=WorkloadKind.DEPLOY, fault=fault, seed=1006)
+    for original in (fault, task, baseline, result):
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+
+
+def test_executor_chunking_covers_all_tasks_exactly_once():
+    fault = FaultSpec(channel=InjectionChannel.APISERVER_TO_ETCD, kind="Pod")
+    tasks = [
+        ExperimentTask(index=i, workload=WorkloadKind.DEPLOY, fault=fault, seed=1000 + i)
+        for i in range(11)
+    ]
+    executor = CampaignExecutor(workers=2)
+    chunks = executor._chunks(tasks, workers=2)
+    flattened = [task for chunk in chunks for task in chunk]
+    assert flattened == tasks
+    assert all(chunks)
+    sized = CampaignExecutor(workers=2, chunk_size=3)._chunks(tasks, workers=2)
+    assert [len(chunk) for chunk in sized] == [3, 3, 3, 2]
+
+
+def test_fingerprint_is_stable_and_sensitive():
+    fault = FaultSpec(channel=InjectionChannel.APISERVER_TO_ETCD, kind="Pod")
+    tasks = [ExperimentTask(index=0, workload=WorkloadKind.DEPLOY, fault=fault, seed=1001)]
+    assert tasks_fingerprint(tasks) == tasks_fingerprint(list(tasks))
+    reseeded = [ExperimentTask(index=0, workload=WorkloadKind.DEPLOY, fault=fault, seed=1002)]
+    assert tasks_fingerprint(tasks) != tasks_fingerprint(reseeded)
+    refaulted = [
+        ExperimentTask(
+            index=0,
+            workload=WorkloadKind.DEPLOY,
+            fault=FaultSpec(
+                channel=InjectionChannel.APISERVER_TO_ETCD, kind="Pod", bit_index=7
+            ),
+            seed=1001,
+        )
+    ]
+    assert tasks_fingerprint(tasks) != tasks_fingerprint(refaulted)
+
+
+def test_campaign_fingerprint_covers_config_and_baselines():
+    # A resumed checkpoint must not mix results classified against different
+    # baselines or produced by a different experiment configuration.
+    from repro.core.experiment import ExperimentConfig
+
+    fault = FaultSpec(channel=InjectionChannel.APISERVER_TO_ETCD, kind="Pod")
+    tasks = [ExperimentTask(index=0, workload=WorkloadKind.DEPLOY, fault=fault, seed=1001)]
+    config = ExperimentConfig()
+    baseline = GoldenBaseline.from_golden_runs(
+        workload="deploy",
+        series=[[0.1]],
+        expected_replicas=6,
+        expected_endpoints=6,
+        pods_created=[10],
+        settle_times=[30.0],
+    )
+    base = campaign_fingerprint(tasks, config, {"deploy": baseline})
+    assert base == campaign_fingerprint(tasks, config, {"deploy": baseline})
+    other_baseline = GoldenBaseline.from_golden_runs(
+        workload="deploy",
+        series=[[0.1], [0.2]],
+        expected_replicas=6,
+        expected_endpoints=6,
+        pods_created=[10, 12],
+        settle_times=[30.0, 31.0],
+    )
+    assert base != campaign_fingerprint(tasks, config, {"deploy": other_baseline})
+    assert base != campaign_fingerprint(tasks, ExperimentConfig(run_seconds=90.0), {"deploy": baseline})
+
+
+def test_checkpoint_roundtrip_and_mismatch(tmp_path):
+    path = str(tmp_path / "campaign.ckpt")
+    results = {0: ExperimentResult(workload=WorkloadKind.DEPLOY, fault=None, seed=1001)}
+    write_checkpoint(path, "fingerprint-a", results)
+    assert load_checkpoint(path, "fingerprint-a") == results
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(path, "fingerprint-b")
+    assert load_checkpoint(str(tmp_path / "absent.ckpt"), "fingerprint-a") == {}
+    garbage = tmp_path / "garbage.ckpt"
+    garbage.write_text("not a pickle")
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(str(garbage), "fingerprint-a")
+
+
+# ------------------------------------------------- end-to-end determinism
+
+
+def test_serial_and_parallel_campaign_results_identical():
+    # The acceptance bar of the parallel engine: the same CampaignConfig run
+    # with workers=1 and workers=4 yields identical classification counts and
+    # identical result ordering.
+    serial = Campaign(_tiny_config(workers=1)).run()
+    parallel = Campaign(_tiny_config(workers=4)).run()
+    assert serial.classification_counts() == parallel.classification_counts()
+    assert [result.seed for result in serial.results] == [
+        result.seed for result in parallel.results
+    ]
+    assert [result.fault.describe() for result in serial.results] == [
+        result.fault.describe() for result in parallel.results
+    ]
+    assert serial.results == parallel.results
+    assert serial.baselines == parallel.baselines
+
+
+def test_checkpoint_resume_skips_completed_experiments(tmp_path):
+    config = _tiny_config(workers=1)
+    campaign = Campaign(config)
+    tasks, baselines, _ = campaign.plan_campaign()
+    assert [task.index for task in tasks] == list(range(len(tasks)))
+    path = str(tmp_path / "resume.ckpt")
+
+    first_calls: list[tuple[int, int]] = []
+    executor = CampaignExecutor(
+        config.experiment,
+        workers=1,
+        chunk_size=1,
+        progress=lambda done, total: first_calls.append((done, total)),
+        checkpoint_path=path,
+    )
+    results = executor.run_experiments(tasks, baselines=baselines)
+    total = len(tasks)
+    assert first_calls == [(done, total) for done in range(1, total + 1)]
+
+    # Drop one completed experiment from the checkpoint: the rerun must
+    # execute exactly that one and reproduce the full result list.
+    fingerprint = campaign_fingerprint(tasks, config.experiment, baselines)
+    completed = load_checkpoint(path, fingerprint)
+    del completed[1]
+    write_checkpoint(path, fingerprint, completed)
+
+    second_calls: list[tuple[int, int]] = []
+    resumed = CampaignExecutor(
+        config.experiment,
+        workers=1,
+        chunk_size=1,
+        progress=lambda done, total: second_calls.append((done, total)),
+        checkpoint_path=path,
+    ).run_experiments(tasks, baselines=baselines)
+    assert resumed == results
+    # One progress call for the resumed state, one for the single rerun batch.
+    assert second_calls == [(total - 1, total), (total, total)]
+
+
+def test_campaign_resume_skips_workload_preparation(tmp_path, monkeypatch):
+    # A full Campaign.run with a checkpoint persists the golden baselines and
+    # field recordings too; the resumed run must not redo them.
+    import repro.core.parallel as parallel_module
+
+    config = _tiny_config(workers=1, max_experiments_per_workload=2)
+    path = str(tmp_path / "full.ckpt")
+    first = Campaign(config).run(checkpoint_path=path)
+
+    def explode(*args, **kwargs):
+        raise AssertionError("prep must come from the checkpoint on resume")
+
+    monkeypatch.setattr(parallel_module, "_prepare_workload", explode)
+    resumed = Campaign(config).run(checkpoint_path=path)
+    assert resumed.results == first.results
+    assert resumed.baselines == first.baselines
+    assert resumed.recorded_fields == first.recorded_fields
+
+    # A configuration change is rejected *before* any prep recomputation
+    # (fail-fast: the monkeypatched prep would explode otherwise).
+    changed = _tiny_config(workers=1, max_experiments_per_workload=2, golden_runs=2)
+    with pytest.raises(CheckpointMismatchError):
+        Campaign(changed).run(checkpoint_path=path)
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_campaign_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    json_path = str(tmp_path / "summary.json")
+    exit_code = main(
+        [
+            "campaign",
+            "--workloads",
+            "deploy",
+            "--golden-runs",
+            "1",
+            "--max-experiments",
+            "2",
+            "--seed",
+            "3",
+            "--workers",
+            "1",
+            "--quiet",
+            "--json",
+            json_path,
+        ]
+    )
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "Campaign summary" in captured.out
+    with open(json_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["experiments"] == 2
+    assert sum(payload["classification_counts"].values()) == 2
+
+
+def test_cli_rejects_unknown_workload_and_component(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["campaign", "--workloads", "bogus"])
+    assert "unknown workload" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["propagation", "--components", "kube-proxy"])
+    assert "unknown component" in capsys.readouterr().err

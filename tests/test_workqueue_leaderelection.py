@@ -1,0 +1,188 @@
+"""Edge-case tests for the rate-limited work queue and leader election.
+
+The basics (dedup/FIFO, backoff growth, acquire/renew/release) live in
+``test_controllers.py``; these tests pin down the corner cases the
+controllers rely on: re-adding a key while it is being processed, backoff
+accounting for keys that are already queued, and leases that expire while
+the holder believes it is still renewing.
+"""
+
+from __future__ import annotations
+
+from repro.apiserver.client import APIClient
+from repro.controllers.leaderelection import LeaderElector
+from repro.controllers.workqueue import RateLimitedQueue
+
+
+def _client(control_plane, name="kube-controller-manager"):
+    return APIClient(control_plane.apiserver, component=name)
+
+
+# ------------------------------------------------------------- work queue
+
+
+def test_workqueue_readd_while_processing_requeues():
+    # Popping removes the key from the dedup set, so a watch event arriving
+    # while the key is being reconciled queues another round — the event is
+    # not lost.
+    queue = RateLimitedQueue()
+    queue.add("deploy/webapp")
+    assert queue.pop_ready(0.0) == "deploy/webapp"
+    queue.add("deploy/webapp", now=1.0)
+    assert len(queue) == 1
+    assert queue.pop_ready(1.0) == "deploy/webapp"
+    assert queue.pop_ready(1.0) is None
+
+
+def test_workqueue_failure_while_queued_counts_but_does_not_duplicate():
+    # A key can fail reconciliation while a retry of it is already queued;
+    # the failure count (and therefore the next delay) grows, but no second
+    # entry appears.
+    queue = RateLimitedQueue(base_delay=1.0, max_delay=60.0)
+    queue.add_after_failure("k", now=0.0)
+    assert len(queue) == 1
+    delay = queue.add_after_failure("k", now=0.0)
+    assert len(queue) == 1
+    assert delay == 2.0
+    assert queue.failure_count("k") == 2
+    # The queued entry keeps its original (earlier) deadline.
+    assert queue.pop_ready(1.0) == "k"
+
+
+def test_workqueue_pop_skips_backed_off_key_in_fifo_order():
+    # A backed-off key at the head must not block ready keys behind it.
+    queue = RateLimitedQueue(base_delay=10.0)
+    queue.add_after_failure("slow", now=0.0)
+    queue.add("fast", now=0.0)
+    assert queue.pop_ready(1.0) == "fast"
+    assert queue.pop_ready(1.0) is None
+    assert queue.pop_ready(10.0) == "slow"
+
+
+def test_workqueue_drain_ready_respects_limit_and_order():
+    queue = RateLimitedQueue()
+    for key in ("a", "b", "c", "d"):
+        queue.add(key)
+    assert queue.drain_ready(0.0, limit=2) == ["a", "b"]
+    assert queue.drain_ready(0.0) == ["c", "d"]
+    assert len(queue) == 0
+
+
+def test_workqueue_forget_unknown_key_is_noop():
+    queue = RateLimitedQueue()
+    queue.forget("never-seen")
+    assert queue.failure_count("never-seen") == 0
+
+
+# -------------------------------------------------------- leader election
+
+
+def test_lease_expires_during_renewal_gap(control_plane):
+    # Holder A stops renewing (e.g. stalled); after the lease duration a
+    # second candidate takes over, and A's late renewal must fail instead of
+    # silently stealing leadership back.
+    client = _client(control_plane)
+    first = LeaderElector(
+        control_plane.sim, client, "kcm-lease", identity="a", lease_duration=15.0
+    )
+    assert first.try_acquire_or_renew()
+    control_plane.sim.run_for(16.0)
+
+    second = LeaderElector(
+        control_plane.sim, client, "kcm-lease", identity="b", lease_duration=15.0
+    )
+    assert second.try_acquire_or_renew()
+    assert not first.try_acquire_or_renew()
+    assert not first.is_leader
+    assert second.is_leader
+
+
+def test_lease_transitions_count_takeovers_but_not_renewals(control_plane):
+    client = _client(control_plane)
+    first = LeaderElector(
+        control_plane.sim, client, "sched-lease", identity="a", lease_duration=10.0
+    )
+    first.try_acquire_or_renew()
+    first.try_acquire_or_renew()  # plain renewal
+    lease = client.get("Lease", "sched-lease", namespace="kube-system")
+    transitions_after_renewal = lease["spec"]["leaseTransitions"]
+
+    control_plane.sim.run_for(11.0)
+    second = LeaderElector(
+        control_plane.sim, client, "sched-lease", identity="b", lease_duration=10.0
+    )
+    second.try_acquire_or_renew()
+    lease = client.get("Lease", "sched-lease", namespace="kube-system")
+    assert lease["spec"]["leaseTransitions"] == transitions_after_renewal + 1
+    assert lease["spec"]["holderIdentity"] == "b"
+    assert lease["spec"]["acquireTime"] == control_plane.sim.now
+
+
+def test_corrupted_renew_time_counts_as_expired(control_plane):
+    # A renewTime corrupted into a non-number (a Mutiny value-set) makes the
+    # lease look expired: another candidate can take over instead of the
+    # control plane stalling forever.
+    client = _client(control_plane)
+    holder = LeaderElector(control_plane.sim, client, "corrupt-lease", identity="a")
+    holder.try_acquire_or_renew()
+    lease = client.get("Lease", "corrupt-lease", namespace="kube-system")
+    lease["spec"]["renewTime"] = ""
+    client.update("Lease", lease)
+
+    challenger = LeaderElector(control_plane.sim, client, "corrupt-lease", identity="b")
+    assert challenger.try_acquire_or_renew()
+
+
+def test_invalid_lease_duration_falls_back_to_default(control_plane):
+    # leaseDurationSeconds corrupted to True/zero must not make the lease
+    # permanently un-expirable (or instantly expired in a boolean sense).
+    client = _client(control_plane)
+    holder = LeaderElector(
+        control_plane.sim, client, "duration-lease", identity="a", lease_duration=15.0
+    )
+    holder.try_acquire_or_renew()
+    lease = client.get("Lease", "duration-lease", namespace="kube-system")
+    lease["spec"]["leaseDurationSeconds"] = True
+    client.update("Lease", lease)
+
+    control_plane.sim.run_for(5.0)
+    challenger = LeaderElector(
+        control_plane.sim, client, "duration-lease", identity="b", lease_duration=15.0
+    )
+    # 5 s < the 15 s fallback duration: the lease is still held.
+    assert not challenger.try_acquire_or_renew()
+    control_plane.sim.run_for(11.0)
+    assert challenger.try_acquire_or_renew()
+
+
+def test_release_by_non_holder_leaves_lease_untouched(control_plane):
+    client = _client(control_plane)
+    holder = LeaderElector(control_plane.sim, client, "rel-lease", identity="a")
+    holder.try_acquire_or_renew()
+    bystander = LeaderElector(control_plane.sim, client, "rel-lease", identity="b")
+    bystander.release()
+    lease = client.get("Lease", "rel-lease", namespace="kube-system")
+    assert lease["spec"]["holderIdentity"] == "a"
+    assert holder.try_acquire_or_renew()
+
+
+def test_transitions_counter_tracks_leadership_regain(control_plane):
+    # An elector that loses leadership and later regains it records both
+    # transitions locally (the paper counts leadership changes as restarts).
+    client = _client(control_plane)
+    first = LeaderElector(
+        control_plane.sim, client, "regain-lease", identity="a", lease_duration=10.0
+    )
+    assert first.try_acquire_or_renew()
+    assert first.transitions == 1
+
+    control_plane.sim.run_for(11.0)
+    second = LeaderElector(
+        control_plane.sim, client, "regain-lease", identity="b", lease_duration=10.0
+    )
+    assert second.try_acquire_or_renew()
+    assert not first.try_acquire_or_renew()
+
+    second.release()
+    assert first.try_acquire_or_renew()
+    assert first.transitions == 2
