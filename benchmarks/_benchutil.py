@@ -3,18 +3,47 @@
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 #: Directory where every benchmark writes its rendered table/figure.
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Read an integer knob from the environment, loudly rejecting garbage.
+
+    A malformed or out-of-range value used to be silently replaced by the
+    default, which made a typo (``MUTINY_BENCH_SCALE=3x``) indistinguishable
+    from an intentional small run.  The fallback behaviour stays — benchmarks
+    should run, not crash, on a bad knob — but the bad value is named in a
+    warning.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {name}={raw!r}: not an integer, using {default}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+    if value < minimum:
+        warnings.warn(
+            f"ignoring {name}={raw!r}: must be >= {minimum}, using {minimum}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return minimum
+    return value
+
+
 def bench_scale() -> int:
     """The campaign scale factor (default 1), from ``MUTINY_BENCH_SCALE``."""
-    try:
-        return max(1, int(os.environ.get("MUTINY_BENCH_SCALE", "1")))
-    except ValueError:
-        return 1
+    return _env_int("MUTINY_BENCH_SCALE", 1)
 
 
 def bench_workers() -> int:
@@ -24,10 +53,7 @@ def bench_workers() -> int:
     across runs; CI runs the suite both serially and with 2 workers and fails
     on any drift between the two.
     """
-    try:
-        return max(1, int(os.environ.get("MUTINY_BENCH_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return _env_int("MUTINY_BENCH_WORKERS", 1)
 
 
 def write_output(name: str, text: str) -> None:

@@ -1,0 +1,34 @@
+"""Streaming result store — shard-merge throughput and drift sentinel.
+
+The campaign behind every other benchmark already streams through a sharded
+result store (see ``conftest.py``); this benchmark times the store-side
+aggregation path (scan + plan-order merge + one-pass tally) and renders the
+store summary into ``benchmarks/output/``.  The summary depends only on the
+stored results — not on how they were chunked into shards — so the CI
+serial-vs-parallel drift check diffs it like every other rendered output.
+"""
+
+from __future__ import annotations
+
+from _benchutil import write_output
+
+from repro.core.campaign import CampaignResult
+from repro.core.report import render_store_summary
+from repro.core.resultstore import ShardedResultStore
+
+
+def test_resultstore_streaming_summary(benchmark, campaign_result, campaign_results_dir):
+    store = ShardedResultStore(campaign_results_dir)
+    text = benchmark(render_store_summary, store)
+    write_output("store_summary.txt", text)
+
+    # The streamed view and the campaign's own results agree exactly.
+    streamed = CampaignResult(results=store.all_results())
+    assert streamed.total_experiments() == campaign_result.total_experiments()
+    assert streamed.classification_counts() == campaign_result.classification_counts()
+    assert streamed.activation_rate() == campaign_result.activation_rate()
+
+    # Every record is on disk, compressed, and re-readable.
+    assert store.record_count() == campaign_result.total_experiments()
+    assert store.compressed_bytes() > 0
+    assert len(store.results_digest()) == 64

@@ -31,10 +31,21 @@ def campaign_config() -> CampaignConfig:
 
 
 @pytest.fixture(scope="session")
-def campaign_result(campaign_config):
-    """Run the shared reduced-scale injection campaign once per session."""
+def campaign_results_dir(tmp_path_factory) -> str:
+    """Session-scoped sharded result store backing the shared campaign."""
+    return str(tmp_path_factory.mktemp("resultstore"))
+
+
+@pytest.fixture(scope="session")
+def campaign_result(campaign_config, campaign_results_dir):
+    """Run the shared reduced-scale injection campaign once per session.
+
+    The campaign streams through the sharded result store, so every
+    table/figure benchmark downstream exercises the same storage path a
+    paper-scale campaign uses (lazy plan-order reads, one shard in memory).
+    """
     campaign = Campaign(campaign_config)
-    return campaign.run()
+    return campaign.run(results_dir=campaign_results_dir)
 
 
 @pytest.fixture(scope="session")

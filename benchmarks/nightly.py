@@ -1,0 +1,238 @@
+"""Nightly benchmark runner: per-benchmark timing + peak RSS + regression gate.
+
+Runs every ``bench_*.py`` module in its own subprocess (so each gets a clean
+interpreter and an attributable memory high-water mark), records wall-clock
+time and peak resident set size, writes the lot to a JSON report, and fails
+when any benchmark regresses more than ``--threshold`` against the committed
+baseline.
+
+CI runs this on a nightly cron at ``MUTINY_BENCH_SCALE=3`` with all CPUs,
+uploads the report as an artifact, and also runs a fast ``--dry-run`` on
+pull requests so workflow edits are exercised before merge (the dry run
+records and reports, but never fails on timings — PR runners are too noisy
+for that).
+
+Usage::
+
+    python benchmarks/nightly.py [--scale N] [--workers N]
+                                 [--baseline benchmarks/BENCH_baseline.json]
+                                 [--output BENCH_nightly.json]
+                                 [--threshold 0.25] [--dry-run]
+                                 [--write-baseline]
+
+Peak RSS is ``max(ru_maxrss)`` over the benchmark process and its campaign
+worker children, in KiB (Linux semantics).  Refresh the committed baseline
+with ``--write-baseline`` on the machine class that runs the nightly job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: A regression must exceed the relative threshold AND this many seconds /
+#: KiB before it fails the job, so sub-second benchmarks don't flap.
+MIN_TIME_SLACK_S = 2.0
+MIN_RSS_SLACK_KB = 50 * 1024
+
+_RSS_MARKER = "NIGHTLY_PEAK_RSS_KB="
+
+_CHILD_CODE = """
+import resource, sys
+import pytest
+rc = pytest.main(sys.argv[1:])
+peak = max(
+    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+)
+print("{marker}" + str(peak), flush=True)
+raise SystemExit(rc)
+""".replace(
+    "{marker}", _RSS_MARKER
+)
+
+
+def discover_benchmarks() -> list[Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_benchmark(path: Path, scale: int, workers: int) -> dict:
+    """Run one benchmark module in a subprocess; return its measurements."""
+    env = dict(os.environ)
+    env["MUTINY_BENCH_SCALE"] = str(scale)
+    env["MUTINY_BENCH_WORKERS"] = str(workers)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if part
+    )
+    started = time.monotonic()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_CODE,
+            str(path),
+            "-q",
+            "--benchmark-disable",
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    elapsed = time.monotonic() - started
+    peak_rss_kb = None
+    for line in proc.stdout.splitlines():
+        if line.startswith(_RSS_MARKER):
+            peak_rss_kb = int(line[len(_RSS_MARKER) :])
+    return {
+        "time_s": round(elapsed, 3),
+        "peak_rss_kb": peak_rss_kb,
+        "returncode": proc.returncode,
+        "output_tail": proc.stdout[-2000:] if proc.returncode != 0 else "",
+    }
+
+
+def compare(report: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regressions of ``report`` against ``baseline`` (empty = all good)."""
+    problems: list[str] = []
+    if baseline.get("scale") != report["scale"]:
+        return [
+            f"note: baseline scale {baseline.get('scale')} != run scale "
+            f"{report['scale']}; regression comparison skipped"
+        ]
+    for name, new in report["benchmarks"].items():
+        old = baseline.get("benchmarks", {}).get(name)
+        if not old:
+            continue  # new benchmark: recorded, compared from the next refresh
+        old_time, new_time = old.get("time_s"), new.get("time_s")
+        if old_time and new_time and new_time > old_time * (1 + threshold):
+            if new_time - old_time >= MIN_TIME_SLACK_S:
+                problems.append(
+                    f"{name}: time {new_time:.1f}s vs baseline {old_time:.1f}s "
+                    f"(+{100 * (new_time / old_time - 1):.0f}%, limit "
+                    f"+{100 * threshold:.0f}%)"
+                )
+        old_rss, new_rss = old.get("peak_rss_kb"), new.get("peak_rss_kb")
+        if old_rss and new_rss and new_rss > old_rss * (1 + threshold):
+            if new_rss - old_rss >= MIN_RSS_SLACK_KB:
+                problems.append(
+                    f"{name}: peak RSS {new_rss} KiB vs baseline {old_rss} KiB "
+                    f"(+{100 * (new_rss / old_rss - 1):.0f}%, limit "
+                    f"+{100 * threshold:.0f}%)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=3, help="MUTINY_BENCH_SCALE (default 3)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="MUTINY_BENCH_WORKERS; 0 = one per CPU (default)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(BENCH_DIR / "BENCH_baseline.json"),
+        help="committed baseline to compare against",
+    )
+    parser.add_argument("--output", default="BENCH_nightly.json", help="report file to write")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25, help="failure threshold (default 0.25 = +25%%)"
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="fast PR variant: scale 1, report regressions but never fail on them",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="also write the report to --baseline (refreshing it)",
+    )
+    args = parser.parse_args(argv)
+    if args.dry_run and args.write_baseline:
+        # A dry run forces scale 1; persisting it would leave a baseline the
+        # scale-3 nightly can never compare against (silently disarmed gate).
+        parser.error("--write-baseline cannot be combined with --dry-run")
+
+    scale = 1 if args.dry_run else args.scale
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+
+    report = {
+        "scale": scale,
+        "workers": workers,
+        "python": sys.version.split()[0],
+        "benchmarks": {},
+    }
+    failed_runs: list[str] = []
+    for path in discover_benchmarks():
+        name = path.stem
+        print(f"[nightly] running {name} (scale={scale}, workers={workers})", flush=True)
+        measurement = run_benchmark(path, scale, workers)
+        report["benchmarks"][name] = {
+            "time_s": measurement["time_s"],
+            "peak_rss_kb": measurement["peak_rss_kb"],
+        }
+        status = "ok" if measurement["returncode"] == 0 else f"FAILED rc={measurement['returncode']}"
+        print(
+            f"[nightly] {name}: {measurement['time_s']:.1f}s, "
+            f"peak RSS {measurement['peak_rss_kb']} KiB ({status})",
+            flush=True,
+        )
+        if measurement["returncode"] != 0:
+            failed_runs.append(name)
+            print(measurement["output_tail"], flush=True)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"[nightly] wrote {args.output}")
+
+    if failed_runs:
+        # Never persist a crashed benchmark's bogus timing as the baseline.
+        print(f"[nightly] benchmark runs FAILED: {', '.join(failed_runs)}")
+        return 1
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"[nightly] refreshed baseline {args.baseline}")
+
+    problems: list[str] = []
+    provisional = False
+    if os.path.exists(args.baseline) and not args.write_baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        # A provisional baseline was measured on a different machine class
+        # (e.g. a developer laptop seeding the file): report regressions but
+        # do not fail on them.  Refresh with --write-baseline on the machine
+        # that runs the nightly job to arm the gate.
+        provisional = bool(baseline.get("provisional"))
+        problems = compare(report, baseline, args.threshold)
+        for problem in problems:
+            print(f"[nightly] {problem}")
+    else:
+        print("[nightly] no baseline to compare against; report recorded only")
+
+    real_regressions = [p for p in problems if not p.startswith("note:")]
+    if real_regressions and not args.dry_run and not provisional:
+        print(f"[nightly] {len(real_regressions)} benchmark regression(s) above threshold")
+        return 1
+    if real_regressions:
+        reason = "provisional baseline" if provisional else "dry run"
+        print(f"[nightly] {reason}: regressions reported but not fatal")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

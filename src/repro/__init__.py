@@ -23,6 +23,7 @@ from repro.core.classification import ClientFailure, OrchestratorFailure
 from repro.core.experiment import ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
 from repro.core.parallel import CampaignExecutor, ExperimentTask
+from repro.core.resultstore import ShardedResultStore, StoredResults
 from repro.workloads.workload import WorkloadKind
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "InjectionChannel",
     "MutinyInjector",
     "OrchestratorFailure",
+    "ShardedResultStore",
+    "StoredResults",
     "WorkloadKind",
 ]
 

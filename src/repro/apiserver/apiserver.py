@@ -20,7 +20,7 @@ propagates differently from corrupting the transaction (paper §V-C1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.apiserver.admission import AdmissionChain
@@ -28,7 +28,6 @@ from repro.apiserver.errors import (
     AlreadyExistsError,
     ApiError,
     ConflictError,
-    InvalidObjectError,
     NotFoundError,
     ServerUnavailableError,
 )

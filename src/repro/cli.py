@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro.cli campaign [--workers N] [--max-experiments M]
-                                 [--checkpoint FILE] [--tables] [--json FILE]
+                                 [--results-dir DIR | --checkpoint FILE]
+                                 [--tables] [--json FILE]
     python -m repro.cli propagation [--workers N] [--fields-per-component K]
+    python -m repro.cli inspect RESULTS_DIR [--json FILE]
 
 or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
 
@@ -12,8 +14,11 @@ or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
 recording, generation, execution, classification) through the parallel
 :class:`repro.core.parallel.CampaignExecutor` and prints the paper's tables;
 ``propagation`` runs the Table VI component→Apiserver experiments.  With
-``--checkpoint`` a half-finished campaign resumes from the results file on
-the next invocation of the same configuration.
+``--results-dir`` the workers stream every finished batch into a sharded
+gzip-JSONL result store and a rerun of the same configuration resumes from
+the completed shards (use this for paper-scale campaigns; ``--checkpoint``
+is the legacy monolithic pickle).  ``inspect`` summarizes an existing result
+store without running anything.
 """
 
 from __future__ import annotations
@@ -25,18 +30,19 @@ import sys
 import time
 from typing import Optional
 
-from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.parallel import CheckpointMismatchError
+from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.report import (
     render_campaign_summary,
     render_critical_fields,
     render_figure6,
     render_figure7,
+    render_store_summary,
     render_table3,
     render_table4,
     render_table5,
     render_table6,
 )
+from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
 from repro.workloads.workload import WorkloadKind
 
 _WORKLOADS = {kind.value: kind for kind in WorkloadKind}
@@ -80,16 +86,36 @@ def _parse_components(text: str) -> tuple[str, ...]:
 
 
 def _positive_int(text: str) -> int:
-    value = int(text)
+    """Reject non-integers and values < 1 with a message naming the input.
+
+    Applied uniformly to every count-like option (``--workers``,
+    ``--chunk-size``, ``--golden-runs``, …): a worker count or chunk size
+    below 1 is meaningless and silently clamping it would hide the typo.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: expected an integer >= 1"
+        ) from None
     if value < 1:
-        raise argparse.ArgumentTypeError("must be a positive integer")
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: must be an integer >= 1"
+        )
     return value
 
 
 def _non_negative_int(text: str) -> int:
-    value = int(text)
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: expected an integer >= 0"
+        ) from None
     if value < 0:
-        raise argparse.ArgumentTypeError("must be zero or a positive integer")
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: must be an integer >= 0"
+        )
     return value
 
 
@@ -149,6 +175,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     result = campaign.run(
         progress=_progress_printer(args.quiet, time.monotonic()),
         checkpoint_path=args.checkpoint,
+        results_dir=args.results_dir,
     )
     print(render_campaign_summary(result))
     if args.tables:
@@ -167,6 +194,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "experiments": result.total_experiments(),
             "activation_rate": result.activation_rate(),
             "classification_counts": result.classification_counts(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Summarize a sharded result store without running any experiment."""
+    store = ShardedResultStore(args.results_dir)
+    if not os.path.exists(os.path.join(args.results_dir, "MANIFEST.json")):
+        print(
+            f"error: {args.results_dir!r} is not a result store "
+            "(no MANIFEST.json); point inspect at a --results-dir directory",
+            file=sys.stderr,
+        )
+        return 2
+    # One tally pass and one digest pass over the shards, shared between the
+    # rendered summary and the JSON payload.
+    campaign = CampaignResult(results=store.all_results())
+    digest = store.results_digest()
+    print(render_store_summary(store, include_layout=True, campaign=campaign, digest=digest))
+    if args.json:
+        payload = {
+            "experiments": campaign.total_experiments(),
+            "activation_rate": campaign.activation_rate(),
+            "critical_results": campaign.critical_count(),
+            "classification_counts": campaign.classification_counts(),
+            # Worker-count-independent digest of the stored records: serial
+            # and parallel runs of one campaign must produce the same value.
+            "results_digest": digest,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -210,11 +268,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="M",
         help="experiments per workload, 0 = the full generated campaign (default: 60)",
     )
-    campaign.add_argument(
+    persistence = campaign.add_mutually_exclusive_group()
+    persistence.add_argument(
         "--checkpoint",
         metavar="FILE",
         default=None,
-        help="persist results after every batch and resume from FILE if it exists",
+        help="persist results after every batch into a monolithic pickle and "
+        "resume from FILE if it exists (legacy; prefer --results-dir)",
+    )
+    persistence.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        default=None,
+        help="stream results into a sharded gzip-JSONL store under DIR; a rerun "
+        "of the same configuration resumes from the completed shards "
+        "(memory stays bounded by one batch — use for paper-scale campaigns)",
     )
     campaign.add_argument(
         "--tables", action="store_true", help="print Tables III-V and Figures 6-7"
@@ -244,6 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="recorded fields injected per (workload, component) pair (default: 10)",
     )
     propagation.set_defaults(func=_cmd_propagation)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="summarize an existing sharded result store"
+    )
+    inspect.add_argument(
+        "results_dir", metavar="RESULTS_DIR", help="a --results-dir store directory"
+    )
+    inspect.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write a canonical JSON summary (worker-count independent; "
+        "CI diffs it between serial and parallel runs)",
+    )
+    inspect.set_defaults(func=_cmd_inspect)
     return parser
 
 
@@ -254,7 +337,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.max_experiments = None
     try:
         return args.func(args)
-    except CheckpointMismatchError as error:
+    except ResultStoreMismatchError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

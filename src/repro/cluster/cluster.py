@@ -10,7 +10,7 @@ update bounds) enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.apiserver.admission import AdmissionChain

@@ -10,7 +10,6 @@ of every other object (failure isolation, paper §II-D).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.apiserver.client import APIClient
 from repro.apiserver.errors import ApiError

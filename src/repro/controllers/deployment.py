@@ -15,7 +15,6 @@ from typing import Optional
 
 from repro.apiserver.errors import ApiError
 from repro.controllers.base import Controller
-from repro.controllers.replicaset import pod_is_ready
 from repro.objects.kinds import make_replicaset
 from repro.objects.meta import make_owner_reference, object_key, owner_uids
 

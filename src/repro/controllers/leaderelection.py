@@ -8,7 +8,6 @@ lease's holder identity or renew time can leave the component unable to take
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.apiserver.client import APIClient
 from repro.apiserver.errors import ApiError, NotFoundError

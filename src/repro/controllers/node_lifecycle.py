@@ -15,7 +15,7 @@ the paper's outage analysis hinges on:
 
 from __future__ import annotations
 
-from repro.apiserver.errors import ApiError, NotFoundError
+from repro.apiserver.errors import ApiError
 from repro.controllers.base import Controller
 from repro.controllers.daemonset import tolerates_taints
 from repro.objects.meta import controller_owner

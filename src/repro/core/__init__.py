@@ -6,6 +6,8 @@
 * :mod:`repro.core.experiment` — a single injection experiment end to end.
 * :mod:`repro.core.parallel` — process-parallel campaign execution with
   chunked progress reporting and checkpoint/resume.
+* :mod:`repro.core.resultstore` — the streaming sharded (gzip JSONL)
+  result store backing paper-scale campaigns.
 * :mod:`repro.core.classification` — orchestrator-level and client-level
   failure classification (§V-B).
 * :mod:`repro.core.ffda` — the field-failure-data-analysis taxonomy and the
@@ -20,6 +22,7 @@ from repro.core.classification import ClientFailure, GoldenBaseline, Orchestrato
 from repro.core.experiment import ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel, MutinyInjector
 from repro.core.parallel import CampaignExecutor, ExperimentTask
+from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore, StoredResults
 
 __all__ = [
     "Campaign",
@@ -36,4 +39,7 @@ __all__ = [
     "InjectionChannel",
     "MutinyInjector",
     "OrchestratorFailure",
+    "ResultStoreMismatchError",
+    "ShardedResultStore",
+    "StoredResults",
 ]

@@ -186,24 +186,30 @@ def client_impact_analysis(results: Iterable[ExperimentResult]) -> ClientImpactR
 
 
 def no_effect_fraction(results: Iterable[ExperimentResult]) -> float:
-    """Fraction of injection experiments classified No (paper: ~70%)."""
-    results = list(results)
-    if not results:
+    """Fraction of injection experiments classified No (paper: ~70%).
+
+    Folds streamingly: a store-backed result iterator is consumed one
+    result at a time, never materialized.
+    """
+    total = 0
+    none = 0
+    for result in results:
+        total += 1
+        if result.orchestrator_failure == OrchestratorFailure.NO:
+            none += 1
+    if not total:
         return 0.0
-    none = sum(
-        1 for result in results if result.orchestrator_failure == OrchestratorFailure.NO
-    )
-    return none / len(results)
+    return none / total
 
 
 def system_wide_fraction(results: Iterable[ExperimentResult]) -> float:
     """Fraction of injections that caused a system-wide failure (Sta or Out)."""
-    results = list(results)
-    if not results:
+    total = 0
+    critical = 0
+    for result in results:
+        total += 1
+        if result.orchestrator_failure in (OrchestratorFailure.STA, OrchestratorFailure.OUT):
+            critical += 1
+    if not total:
         return 0.0
-    critical = sum(
-        1
-        for result in results
-        if result.orchestrator_failure in (OrchestratorFailure.STA, OrchestratorFailure.OUT)
-    )
-    return critical / len(results)
+    return critical / total

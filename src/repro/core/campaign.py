@@ -29,9 +29,14 @@ same configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
-from repro.core.classification import ClientFailure, GoldenBaseline, OrchestratorFailure
+from repro.core.classification import (
+    CampaignTally,
+    ClientFailure,
+    GoldenBaseline,
+    OrchestratorFailure,
+)
 from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel
 from repro.core.parallel import (
@@ -42,6 +47,7 @@ from repro.core.parallel import (
     load_checkpoint_prep,
     prep_fingerprint,
 )
+from repro.core.resultstore import ShardedResultStore
 from repro.serialization import iter_field_paths
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.workload import WorkloadKind
@@ -156,11 +162,21 @@ class PlannedExperiment:
 
 @dataclass
 class CampaignResult:
-    """All results of a campaign, with the aggregations the tables need."""
+    """All results of a campaign, with the aggregations the tables need.
 
-    results: list[ExperimentResult] = field(default_factory=list)
+    ``results`` is any re-iterable sequence of experiment results: the
+    in-memory list of a small campaign, or the lazy
+    :class:`~repro.core.resultstore.StoredResults` view of a streamed one.
+    Every aggregate folds from a single streaming pass (cached on first
+    use), so tallying a paper-scale campaign never materializes it.
+    """
+
+    results: Sequence[ExperimentResult] = field(default_factory=list)
     baselines: dict[str, GoldenBaseline] = field(default_factory=dict)
     recorded_fields: dict[str, list[RecordedField]] = field(default_factory=dict)
+    _tally: Optional[CampaignTally] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------ aggregates
 
@@ -175,41 +191,33 @@ class CampaignResult:
             return "Value set"
         return "Drop"
 
+    def tally(self) -> CampaignTally:
+        """All classification tallies, folded in one streaming pass."""
+        if self._tally is None:
+            tally = CampaignTally()
+            for result in self.results:
+                tally.update(result, self.injection_family(result.fault))
+            self._tally = tally
+        return self._tally
+
     def of_counts(self) -> dict[tuple[str, str], dict[str, int]]:
         """(workload, injection family) -> counts per orchestrator failure (Table IV)."""
-        table: dict[tuple[str, str], dict[str, int]] = {}
-        for result in self.results:
-            key = (result.workload.value, self.injection_family(result.fault))
-            row = table.setdefault(key, {failure.value: 0 for failure in OrchestratorFailure})
-            if result.orchestrator_failure is not None:
-                row[result.orchestrator_failure.value] += 1
-        return table
+        return self.tally().of_counts
 
     def cf_counts(self) -> dict[tuple[str, str], dict[str, int]]:
         """(workload, injection family) -> counts per client failure (Table V)."""
-        table: dict[tuple[str, str], dict[str, int]] = {}
-        for result in self.results:
-            key = (result.workload.value, self.injection_family(result.fault))
-            row = table.setdefault(key, {failure.value: 0 for failure in ClientFailure})
-            if result.client_failure is not None:
-                row[result.client_failure.value] += 1
-        return table
+        return self.tally().cf_counts
 
     def of_cf_matrix(self, workload: Optional[WorkloadKind] = None) -> dict[str, dict[str, int]]:
         """OF -> CF counts (Table III), optionally restricted to one workload."""
-        matrix: dict[str, dict[str, int]] = {
-            of.value: {cf.value: 0 for cf in ClientFailure} for of in OrchestratorFailure
-        }
-        for result in self.results:
-            if workload is not None and result.workload != workload:
-                continue
-            if result.orchestrator_failure is None or result.client_failure is None:
-                continue
-            matrix[result.orchestrator_failure.value][result.client_failure.value] += 1
-        return matrix
+        return self.tally().matrix(workload.value if workload is not None else None)
 
     def critical_results(self) -> list[ExperimentResult]:
-        """Experiments that caused Out, Sta, or a service-unreachable client failure."""
+        """Experiments that caused Out, Sta, or a service-unreachable client failure.
+
+        This materializes the (small) critical subset; use
+        :meth:`critical_count` when only the number is needed.
+        """
         critical = []
         for result in self.results:
             if result.orchestrator_failure in (OrchestratorFailure.STA, OrchestratorFailure.OUT):
@@ -218,26 +226,21 @@ class CampaignResult:
                 critical.append(result)
         return critical
 
+    def critical_count(self) -> int:
+        """Number of critical experiments (streaming; no materialization)."""
+        return self.tally().critical
+
     def classification_counts(self) -> dict[str, int]:
         """Failure-class counts keyed ``"OF/CF"``, for drift checks and CLI output."""
-        counts: dict[str, int] = {}
-        for result in self.results:
-            of_name = result.orchestrator_failure.value if result.orchestrator_failure else "-"
-            cf_name = result.client_failure.value if result.client_failure else "-"
-            key = f"{of_name}/{cf_name}"
-            counts[key] = counts.get(key, 0) + 1
-        return dict(sorted(counts.items()))
+        return self.tally().classification_counts()
 
     def activation_rate(self) -> float:
         """Fraction of injected experiments whose target was used afterwards."""
-        injected = [result for result in self.results if result.injected]
-        if not injected:
-            return 0.0
-        return sum(1 for result in injected if result.activated) / len(injected)
+        return self.tally().activation_rate()
 
     def total_experiments(self) -> int:
         """Number of injection experiments run."""
-        return len(self.results)
+        return self.tally().total
 
 
 class Campaign:
@@ -359,6 +362,7 @@ class Campaign:
         self,
         progress: Optional[ProgressCallback] = None,
         checkpoint_path: Optional[str] = None,
+        results_dir: Optional[str] = None,
     ) -> CampaignExecutor:
         """Build the executor this campaign's configuration asks for."""
         return CampaignExecutor(
@@ -367,6 +371,7 @@ class Campaign:
             chunk_size=self.config.chunk_size,
             progress=progress,
             checkpoint_path=checkpoint_path,
+            results_dir=results_dir,
         )
 
     def _preps(self) -> list[WorkloadPrep]:
@@ -422,23 +427,43 @@ class Campaign:
         self,
         progress: Optional[ProgressCallback] = None,
         checkpoint_path: Optional[str] = None,
+        results_dir: Optional[str] = None,
     ) -> CampaignResult:
         """Run the whole campaign and return its results.
 
         ``progress`` is called as ``progress(done, total)`` whenever a batch
-        of experiments completes.  With ``checkpoint_path`` everything
-        completed so far — golden baselines, field recordings, and results —
-        is persisted after every batch, and a rerun of the same configuration
-        resumes from the file instead of starting over.
+        of experiments completes.  Two persistence layouts are supported:
+
+        * ``results_dir`` — the streaming sharded result store.  Workers
+          serialize every finished batch to a compressed shard, the returned
+          :class:`CampaignResult` holds a lazy plan-order view, and a rerun
+          of the same configuration resumes by scanning the completed shards
+          (replaying zero finished experiments).  Peak memory stays bounded
+          by one batch no matter how large the campaign is — use this for
+          paper-scale runs.
+        * ``checkpoint_path`` — the legacy monolithic pickle checkpoint,
+          rewritten after every batch; fine for small campaigns.
         """
-        with self._executor(progress=progress, checkpoint_path=checkpoint_path) as executor:
+        with self._executor(
+            progress=progress, checkpoint_path=checkpoint_path, results_dir=results_dir
+        ) as executor:
             prepared = None
             prep_digest = None
-            if checkpoint_path:
+            store = None
+            if checkpoint_path or results_dir:
                 prep_digest = prep_fingerprint(self.config.experiment, self._preps())
-                prepared = load_checkpoint_prep(checkpoint_path, prep_digest)
-            tasks, baselines, recorded_fields = self.plan_campaign(executor, prepared=prepared)
             if checkpoint_path:
+                prepared = load_checkpoint_prep(checkpoint_path, prep_digest)
+            elif results_dir:
+                store = ShardedResultStore(results_dir)
+                prepared = store.load_prep(prep_digest)
+            tasks, baselines, recorded_fields = self.plan_campaign(executor, prepared=prepared)
+            # In both layouts the prep is persisted through the executor.
+            # The checkpoint re-attaches it on every write (resumed or not);
+            # the store writes it once, and only after the store's campaign
+            # fingerprint has been validated, so a mis-pointed --results-dir
+            # is rejected before anything inside the foreign store is touched.
+            if checkpoint_path or (results_dir and prepared is None):
                 executor.set_checkpoint_prep(
                     prep_digest,
                     [

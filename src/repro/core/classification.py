@@ -324,6 +324,93 @@ def classify_client(
     return most_severe_cf(candidates), zscore
 
 
+# --------------------------------------------------------------------------
+# Streaming classification tallies
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignTally:
+    """Incrementally folded classification tallies of a campaign.
+
+    Everything the paper's tables aggregate from a campaign — Table IV/V
+    rows, the Table III matrix, the OF/CF counts of the CLI summary, the
+    activation rate — folds one result at a time, so a streaming result
+    store can be tallied without ever materializing the campaign.
+    """
+
+    total: int = 0
+    injected: int = 0
+    activated: int = 0
+    #: Experiments in the paper's critical set (Sta, Out, or SU).
+    critical: int = 0
+    #: (workload, injection family) -> OF value -> count (Table IV).
+    of_counts: dict = field(default_factory=dict)
+    #: (workload, injection family) -> CF value -> count (Table V).
+    cf_counts: dict = field(default_factory=dict)
+    #: workload -> OF value -> CF value -> count (Table III, per workload).
+    matrices: dict = field(default_factory=dict)
+    #: "OF/CF" -> count (CLI summary and drift checks).
+    pair_counts: dict = field(default_factory=dict)
+
+    def update(self, result, family: str) -> None:
+        """Fold one experiment result (``family`` is its injection family)."""
+        self.total += 1
+        if result.injected:
+            self.injected += 1
+            if result.activated:
+                self.activated += 1
+        of = result.orchestrator_failure
+        cf = result.client_failure
+        if of in (OrchestratorFailure.STA, OrchestratorFailure.OUT) or cf == ClientFailure.SU:
+            self.critical += 1
+
+        key = (result.workload.value, family)
+        of_row = self.of_counts.setdefault(
+            key, {failure.value: 0 for failure in OrchestratorFailure}
+        )
+        if of is not None:
+            of_row[of.value] += 1
+        cf_row = self.cf_counts.setdefault(
+            key, {failure.value: 0 for failure in ClientFailure}
+        )
+        if cf is not None:
+            cf_row[cf.value] += 1
+
+        if of is not None and cf is not None:
+            matrix = self.matrices.setdefault(
+                result.workload.value,
+                {o.value: {c.value: 0 for c in ClientFailure} for o in OrchestratorFailure},
+            )
+            matrix[of.value][cf.value] += 1
+
+        pair = f"{of.value if of else '-'}/{cf.value if cf else '-'}"
+        self.pair_counts[pair] = self.pair_counts.get(pair, 0) + 1
+
+    def matrix(self, workload: Optional[str] = None) -> dict[str, dict[str, int]]:
+        """The OF→CF matrix, summed over all workloads or for one of them."""
+        combined = {
+            of.value: {cf.value: 0 for cf in ClientFailure} for of in OrchestratorFailure
+        }
+        for workload_value, matrix in self.matrices.items():
+            if workload is not None and workload_value != workload:
+                continue
+            for of_value, row in matrix.items():
+                for cf_value, count in row.items():
+                    combined[of_value][cf_value] += count
+        return combined
+
+    def activation_rate(self) -> float:
+        """Fraction of injected experiments whose target was used afterwards."""
+        if not self.injected:
+            return 0.0
+        return self.activated / self.injected
+
+    def classification_counts(self) -> dict[str, int]:
+        """Failure-class counts keyed ``"OF/CF"``, sorted by key."""
+        return dict(sorted(self.pair_counts.items()))
+
+
 def detect_unreachable_tail(samples_success: Sequence[bool], min_tail: int = 10) -> bool:
     """True if requests fail from some point until the end of the series."""
     if not samples_success:

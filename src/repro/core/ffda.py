@@ -12,9 +12,8 @@ sizing incidents, …), and the Mutiny coverage map of Table VII.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 
 class FaultCategory(Enum):

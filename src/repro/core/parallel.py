@@ -29,16 +29,25 @@ from typing import Callable, Optional
 from repro.core.classification import GoldenBaseline
 from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec
+from repro.core.resultstore import (
+    ResultStoreMismatchError,
+    ShardedResultStore,
+    StoredResults,
+)
 from repro.workloads.workload import WorkloadKind
 
 #: Format version of the checkpoint files (bumped on layout changes).
 CHECKPOINT_VERSION = 1
 
+#: Historical first seed of the baseline golden runs (run ``i`` uses
+#: ``base_seed + i``), matching :meth:`ExperimentRunner.build_baseline`.
+DEFAULT_BASE_SEED = 100
+
 #: ``progress(done, total)`` callback invoked as batches complete.
 ProgressCallback = Callable[[int, int], None]
 
 
-class CheckpointMismatchError(RuntimeError):
+class CheckpointMismatchError(ResultStoreMismatchError):
     """A checkpoint file does not belong to the campaign being executed."""
 
 
@@ -65,6 +74,36 @@ class WorkloadPrep:
     golden_runs: int
     #: Seed of the extra golden run that records the fields written to etcd.
     record_seed: int
+    #: Seed of the first baseline golden run (run ``i`` uses ``base_seed+i``,
+    #: matching :meth:`ExperimentRunner.build_baseline`).
+    base_seed: int = DEFAULT_BASE_SEED
+
+
+@dataclass(frozen=True)
+class GoldenRunJob:
+    """One golden run: the picklable unit of parallel workload preparation.
+
+    Workload preparation used to fan out one job per *workload*, which made
+    the golden baselines the serial fraction of a campaign; preparation now
+    fans out one job per golden *run*, so ``golden_runs`` baseline runs and
+    the field-recording run of every workload all execute concurrently.
+    """
+
+    workload: WorkloadKind
+    seed: int
+    #: Record the fields written to etcd during this run (the extra run the
+    #: campaign uses for fault generation).
+    record_fields: bool = False
+
+
+@dataclass(frozen=True)
+class GoldenRunStats:
+    """The per-run observables a golden baseline is assembled from."""
+
+    latency_series: tuple
+    pods_created: int
+    settle_time: Optional[float]
+    client_errors: int
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -87,13 +126,29 @@ def _init_worker(experiment_config: ExperimentConfig) -> None:
     _WORKER_STATE["runner"] = ExperimentRunner(experiment_config)
 
 
+def _worker_runner(experiment_config: ExperimentConfig) -> ExperimentRunner:
+    """The pool-initialized runner, or a fresh one on the serial path."""
+    runner = _WORKER_STATE.get("runner")
+    if runner is None:
+        runner = ExperimentRunner(experiment_config)
+    return runner
+
+
 def _run_batch(
     tasks: list[ExperimentTask],
     baselines: dict[str, GoldenBaseline],
-) -> list[tuple[int, ExperimentResult]]:
-    """Run one batch of tasks in a worker process."""
+    store_root: Optional[str] = None,
+):
+    """Run one batch of tasks in a worker process.
+
+    Without a store the batch results travel back to the parent in memory
+    (the original behaviour).  With ``store_root`` the *worker* serializes
+    the finished batch to one compressed shard and only the completed plan
+    indexes travel back, so the parent's memory stays bounded by its own
+    bookkeeping no matter how large the campaign is.
+    """
     runner: ExperimentRunner = _WORKER_STATE["runner"]
-    return [
+    results = [
         (
             task.index,
             runner.run_experiment(
@@ -105,22 +160,52 @@ def _run_batch(
         )
         for task in tasks
     ]
+    if store_root is None:
+        return results
+    ShardedResultStore(store_root).write_shard(results)
+    return [index for index, _ in results]
 
 
-def _prepare_workload(
-    experiment_config: ExperimentConfig, prep: WorkloadPrep
-) -> tuple[Optional[GoldenBaseline], list]:
-    """Build the golden baseline and record the etcd-written fields."""
+def _run_golden_job(
+    experiment_config: ExperimentConfig, job: GoldenRunJob
+) -> tuple[GoldenRunStats, Optional[list]]:
+    """Run one golden run and return its baseline stats (and recordings)."""
     # Imported lazily: campaign.py imports this module for the executor.
     from repro.core.campaign import FieldRecorder
 
-    runner = ExperimentRunner(experiment_config)
-    baseline = None
-    if prep.golden_runs > 0:
-        baseline = runner.build_baseline(prep.workload, runs=prep.golden_runs)
-    recorder = FieldRecorder()
-    runner.run_golden(prep.workload, seed=prep.record_seed, etcd_observer=recorder)
-    return baseline, recorder.recorded()
+    runner = _worker_runner(experiment_config)
+    recorder = FieldRecorder() if job.record_fields else None
+    result = runner.run_golden(job.workload, seed=job.seed, etcd_observer=recorder)
+    stats = GoldenRunStats(
+        latency_series=tuple(result.latency_series),
+        pods_created=result.pods_created,
+        settle_time=result.orchestrator_observations.settle_time,
+        client_errors=result.client_observations.error_count,
+    )
+    return stats, (recorder.recorded() if recorder is not None else None)
+
+
+def _assemble_baseline(
+    experiment_config: ExperimentConfig,
+    prep: WorkloadPrep,
+    stats: list[GoldenRunStats],
+) -> GoldenBaseline:
+    """Fold per-run golden stats into the workload's classification baseline.
+
+    Mirrors :meth:`ExperimentRunner.build_baseline` exactly, so fanning the
+    golden runs out across workers changes nothing about the baseline.
+    """
+    expected = ExperimentRunner._expected_replicas(prep.workload)
+    settle_times = [s.settle_time for s in stats if s.settle_time is not None]
+    return GoldenBaseline.from_golden_runs(
+        workload=prep.workload.value,
+        series=[list(s.latency_series) for s in stats],
+        expected_replicas=expected,
+        expected_endpoints=expected,
+        pods_created=[s.pods_created for s in stats],
+        settle_times=settle_times if settle_times else [experiment_config.run_seconds],
+        client_errors=[s.client_errors for s in stats],
+    )
 
 
 # --------------------------------------------------------------------------
@@ -163,8 +248,13 @@ def prep_fingerprint(
     """Digest of everything that determines workload preparation results."""
     digest = hashlib.sha256(repr(experiment_config).encode("utf-8"))
     for prep in preps:
+        # base_seed joins the digest only when it differs from the historical
+        # default, so checkpoints written before the field existed (same
+        # semantics, seeds 100+i) still resume.
+        suffix = f"|{prep.base_seed}" if prep.base_seed != DEFAULT_BASE_SEED else ""
         digest.update(
-            f"{prep.workload.value}|{prep.golden_runs}|{prep.record_seed}\n".encode("utf-8")
+            f"{prep.workload.value}|{prep.golden_runs}|{prep.record_seed}"
+            f"{suffix}\n".encode("utf-8")
         )
     return digest.hexdigest()
 
@@ -270,7 +360,13 @@ class CampaignExecutor:
         chunk_size: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         checkpoint_path: Optional[str] = None,
+        results_dir: Optional[str] = None,
     ):
+        if checkpoint_path and results_dir:
+            raise ValueError(
+                "checkpoint_path and results_dir are alternative persistence "
+                "layouts; pass exactly one of them"
+            )
         self.experiment_config = (
             experiment_config if experiment_config is not None else ExperimentConfig()
         )
@@ -278,14 +374,17 @@ class CampaignExecutor:
         self.chunk_size = chunk_size
         self.progress = progress
         self.checkpoint_path = checkpoint_path
+        self.results_dir = results_dir
         self._pool: Optional[ProcessPoolExecutor] = None
         self._checkpoint_prep: Optional[dict] = None
 
     def set_checkpoint_prep(self, fingerprint: str, prepared: list) -> None:
-        """Attach the prepared baselines/recordings to every checkpoint write.
+        """Attach the prepared baselines/recordings for persistence.
 
-        A resumed campaign then reloads them via :func:`load_checkpoint_prep`
-        instead of re-running the golden baselines and field recording.
+        Checkpoint layout: re-attached to every checkpoint write.  Store
+        layout: written once to ``prep.pkl`` after the store's fingerprint
+        check passes.  A resumed campaign then reloads them instead of
+        re-running the golden baselines and field recording.
         """
         self._checkpoint_prep = {"fingerprint": fingerprint, "prepared": prepared}
 
@@ -330,10 +429,20 @@ class CampaignExecutor:
         self,
         tasks: list[ExperimentTask],
         baselines: Optional[dict[str, GoldenBaseline]] = None,
-    ) -> list[ExperimentResult]:
-        """Run every task and return the results in plan order."""
+    ):
+        """Run every task and return the results in plan order.
+
+        Without a ``results_dir`` this returns the familiar in-memory list.
+        With one, the workers stream every finished batch into the sharded
+        result store and a lazy :class:`StoredResults` view is returned
+        instead: peak parent memory is bounded by one batch regardless of
+        campaign size, and a rerun resumes by scanning the completed shards.
+        """
         total = len(tasks)
         fingerprint = campaign_fingerprint(tasks, self.experiment_config, baselines)
+        if self.results_dir:
+            return self._run_streaming(tasks, baselines, fingerprint, total)
+
         completed: dict[int, ExperimentResult] = {}
         if self.checkpoint_path:
             completed = load_checkpoint(self.checkpoint_path, fingerprint)
@@ -342,15 +451,65 @@ class CampaignExecutor:
         if self.progress is not None and completed:
             self.progress(len(completed), total)
 
-        workers = min(self.workers, max(len(pending), 1))
         if pending:
-            chunks = self._chunks(pending, workers)
-            if workers <= 1:
-                self._run_serial(chunks, baselines, completed, fingerprint, total)
-            else:
-                self._run_pool(chunks, baselines, completed, fingerprint, total)
+            self._execute_chunks(
+                pending,
+                baselines,
+                finish=lambda batch: self._finish_batch(batch, completed, fingerprint, total),
+            )
 
         return [completed[task.index] for task in tasks]
+
+    def _run_streaming(self, tasks, baselines, fingerprint, total) -> StoredResults:
+        store = ShardedResultStore(self.results_dir)
+        store.open(fingerprint, total)
+        # Persist the prep only now, after the manifest check above accepted
+        # the store: a mis-pointed results_dir must stay untouched.
+        if self._checkpoint_prep is not None:
+            store.save_prep(
+                self._checkpoint_prep["fingerprint"], self._checkpoint_prep["prepared"]
+            )
+        done = set(store.completed_indexes())
+        pending = [task for task in tasks if task.index not in done]
+        if self.progress is not None and done:
+            self.progress(len(done), total)
+
+        def finish(batch_indexes: list[int]) -> None:
+            done.update(batch_indexes)
+            if self.progress is not None:
+                self.progress(len(done), total)
+
+        if pending:
+            self._execute_chunks(pending, baselines, finish, store_root=self.results_dir)
+            store.refresh()  # the workers added shards behind our scan
+        return StoredResults(store, [task.index for task in tasks])
+
+    def _execute_chunks(self, pending, baselines, finish, store_root=None) -> None:
+        """Dispatch pending tasks in batches, folding each with ``finish``.
+
+        The one dispatch loop both persistence layouts share: batches run
+        serially in-process or across the pool, and ``finish`` is called with
+        each batch's `_run_batch` return value as it completes — so progress
+        (and checkpoints) advance even while other batches are still running.
+        """
+        workers = min(self.workers, max(len(pending), 1))
+        chunks = self._chunks(pending, workers)
+        if workers <= 1:
+            _init_worker(self.experiment_config)
+            try:
+                for chunk in chunks:
+                    finish(_run_batch(chunk, baselines or {}, store_root))
+            finally:
+                _WORKER_STATE.clear()
+            return
+        pool = self._get_pool()
+        futures = {
+            pool.submit(_run_batch, chunk, baselines or {}, store_root) for chunk in chunks
+        }
+        while futures:
+            completed, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in completed:
+                finish(future.result())
 
     def _finish_batch(
         self,
@@ -368,41 +527,62 @@ class CampaignExecutor:
         if self.progress is not None:
             self.progress(len(completed), total)
 
-    def _run_serial(self, chunks, baselines, completed, fingerprint, total) -> None:
-        _init_worker(self.experiment_config)
-        try:
-            for chunk in chunks:
-                self._finish_batch(
-                    _run_batch(chunk, baselines or {}), completed, fingerprint, total
-                )
-        finally:
-            _WORKER_STATE.clear()
-
-    def _run_pool(self, chunks, baselines, completed, fingerprint, total) -> None:
-        pool = self._get_pool()
-        futures = {pool.submit(_run_batch, chunk, baselines or {}) for chunk in chunks}
-        # Merge batches as they complete so checkpoints and progress advance
-        # even while other batches are still running.
-        while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                self._finish_batch(future.result(), completed, fingerprint, total)
-
     # ---------------------------------------------------------- preparation
 
     def prepare_workloads(
         self, preps: list[WorkloadPrep]
     ) -> list[tuple[Optional[GoldenBaseline], list]]:
-        """Run the golden baseline + field recording for each workload.
+        """Run the golden baselines + field recording for each workload.
 
-        Workload preparations are independent of each other, so they fan out
-        across the pool as well (they are the serial fraction of a campaign
-        otherwise).  Results keep the order of ``preps``.
+        Preparation fans out one job per golden *run* (not per workload):
+        every baseline run and every field-recording run is independent, so
+        a campaign with three workloads and three golden runs keeps twelve
+        workers busy instead of three.  The per-run stats are folded back
+        into baselines in the parent; results keep the order of ``preps``.
         """
-        if self.workers <= 1 or len(preps) <= 1:
-            return [_prepare_workload(self.experiment_config, prep) for prep in preps]
-        pool = self._get_pool()
-        futures = [
-            pool.submit(_prepare_workload, self.experiment_config, prep) for prep in preps
-        ]
-        return [future.result() for future in futures]
+        jobs: list[tuple[int, GoldenRunJob]] = []
+        for slot, prep in enumerate(preps):
+            for run in range(prep.golden_runs):
+                jobs.append(
+                    (slot, GoldenRunJob(workload=prep.workload, seed=prep.base_seed + run))
+                )
+            jobs.append(
+                (
+                    slot,
+                    GoldenRunJob(
+                        workload=prep.workload, seed=prep.record_seed, record_fields=True
+                    ),
+                )
+            )
+
+        if self.workers <= 1 or len(jobs) <= 1:
+            outcomes = [
+                _run_golden_job(self.experiment_config, job) for _, job in jobs
+            ]
+        else:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(_run_golden_job, self.experiment_config, job)
+                for _, job in jobs
+            ]
+            outcomes = [future.result() for future in futures]
+
+        prepared: list[tuple[Optional[GoldenBaseline], list]] = []
+        for slot, prep in enumerate(preps):
+            stats = [
+                outcome[0]
+                for (job_slot, job), outcome in zip(jobs, outcomes)
+                if job_slot == slot and not job.record_fields
+            ]
+            recorded = next(
+                outcome[1]
+                for (job_slot, job), outcome in zip(jobs, outcomes)
+                if job_slot == slot and job.record_fields
+            )
+            baseline = (
+                _assemble_baseline(self.experiment_config, prep, stats)
+                if prep.golden_runs > 0
+                else None
+            )
+            prepared.append((baseline, recorded))
+        return prepared

@@ -42,11 +42,16 @@ def _format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def render_campaign_summary(campaign: CampaignResult) -> str:
-    """A compact summary of a campaign run, printed by the CLI."""
+    """A compact summary of a campaign run, printed by the CLI.
+
+    Every figure here comes from the campaign's one-pass streaming tally, so
+    summarizing a store-backed paper-scale campaign costs one shard at a
+    time of memory.
+    """
     lines = [
         f"experiments        : {campaign.total_experiments()}",
         f"activation rate    : {campaign.activation_rate() * 100:.1f}%",
-        f"critical results   : {len(campaign.critical_results())}",
+        f"critical results   : {campaign.critical_count()}",
     ]
     counts = campaign.classification_counts()
     if counts:
@@ -54,6 +59,36 @@ def render_campaign_summary(campaign: CampaignResult) -> str:
         lines.append("")
         lines.append(_format_table(["OF/CF", "count"], rows))
     return "Campaign summary\n" + "\n".join(lines)
+
+
+def render_store_summary(
+    store,
+    include_layout: bool = False,
+    campaign: Optional[CampaignResult] = None,
+    digest: Optional[str] = None,
+) -> str:
+    """Summarize a sharded result store (the ``campaign inspect`` body).
+
+    Folds the store in one streaming pass.  The default output depends only
+    on the stored *results* — not on how they were chunked into shards — so
+    serial and parallel runs of the same campaign render identically and CI
+    can diff it.  ``include_layout`` appends the worker-count-dependent
+    layout facts (shard count, compressed size) for humans.  Callers that
+    already tallied the store (or computed its digest) pass ``campaign`` /
+    ``digest`` to avoid decompressing the shards again.
+    """
+    if campaign is None:
+        campaign = CampaignResult(results=store.all_results())
+    text = render_campaign_summary(campaign).replace(
+        "Campaign summary", "Result store summary", 1
+    )
+    if include_layout:
+        text += (
+            f"\n\nshards             : {len(store.shard_paths())}"
+            f"\ncompressed size    : {store.compressed_bytes()} bytes"
+            f"\nresults digest     : {digest if digest else store.results_digest()}"
+        )
+    return text
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,467 @@
+"""Streaming, sharded result store for paper-scale campaigns.
+
+The paper's full campaign is ~8,800 experiments (§IV-C); materializing every
+:class:`~repro.core.experiment.ExperimentResult` in the parent process and
+rewriting a monolithic checkpoint after every batch caps campaign scale well
+below that.  This module stores results the way the executor produces them:
+each worker serializes its finished batch straight to one compressed JSONL
+shard (written atomically, gzip with a fixed mtime so shard bytes are
+reproducible), and the parent only ever tracks *indexes*.  Peak resident
+memory is therefore bounded by one batch regardless of campaign size, and
+resuming an interrupted campaign is a scan of the completed shards rather
+than a deserialization of everything done so far.
+
+Layout of a store directory::
+
+    <root>/MANIFEST.json             # {"version", "fingerprint", "total"}
+    <root>/prep.pkl                  # golden baselines + field recordings
+    <root>/shards/shard-<first>-<last>.jsonl.gz
+
+Every shard line is ``{"index": <plan index>, "result": <result dict>}``.
+A shard that was truncated mid-write (e.g. the machine died) is readable up
+to its last complete record; the missing experiments are simply re-run into
+a fresh shard on resume.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import pickle
+from dataclasses import fields as dataclass_fields
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.classification import (
+    ClientFailure,
+    ClientObservations,
+    OrchestratorFailure,
+    OrchestratorObservations,
+)
+from repro.core.experiment import ExperimentResult
+from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.workloads.workload import WorkloadKind
+
+#: Format version of the store layout (bumped on layout changes).
+STORE_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST.json"
+_PREP_NAME = "prep.pkl"
+_SHARD_DIR = "shards"
+
+
+class ResultStoreMismatchError(RuntimeError):
+    """A result store (or checkpoint) does not belong to this campaign."""
+
+
+# --------------------------------------------------------------------------
+# JSON codec for ExperimentResult (and the dataclasses it embeds)
+# --------------------------------------------------------------------------
+
+
+def fault_to_dict(fault: Optional[FaultSpec]) -> Optional[dict]:
+    """JSON-serializable form of a fault spec (None stays None)."""
+    if fault is None:
+        return None
+    return {
+        "channel": fault.channel.value,
+        "kind": fault.kind,
+        "field_path": fault.field_path,
+        "name": fault.name,
+        "namespace": fault.namespace,
+        "component": fault.component,
+        "fault_type": fault.fault_type.value,
+        "bit_index": fault.bit_index,
+        "set_value": fault.set_value,
+        "occurrence": fault.occurrence,
+    }
+
+
+def fault_from_dict(data: Optional[dict]) -> Optional[FaultSpec]:
+    """Inverse of :func:`fault_to_dict`."""
+    if data is None:
+        return None
+    return FaultSpec(
+        channel=InjectionChannel(data["channel"]),
+        kind=data["kind"],
+        field_path=data["field_path"],
+        name=data["name"],
+        namespace=data["namespace"],
+        component=data["component"],
+        fault_type=FaultType(data["fault_type"]),
+        bit_index=data["bit_index"],
+        set_value=data["set_value"],
+        occurrence=data["occurrence"],
+    )
+
+
+def _dataclass_to_dict(value: Any) -> dict:
+    return {f.name: getattr(value, f.name) for f in dataclass_fields(value)}
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable form of one experiment result (all fields)."""
+    return {
+        "workload": result.workload.value,
+        "fault": fault_to_dict(result.fault),
+        "seed": result.seed,
+        "injected": result.injected,
+        "activated": result.activated,
+        "dropped": result.dropped,
+        "orchestrator_failure": (
+            result.orchestrator_failure.value if result.orchestrator_failure else None
+        ),
+        "client_failure": result.client_failure.value if result.client_failure else None,
+        "client_zscore": result.client_zscore,
+        "orchestrator_observations": _dataclass_to_dict(result.orchestrator_observations),
+        "client_observations": _dataclass_to_dict(result.client_observations),
+        "latency_series": result.latency_series,
+        "user_error_count": result.user_error_count,
+        "user_request_count": result.user_request_count,
+        "component_error_count": result.component_error_count,
+        "injection_time": result.injection_time,
+        "pods_created": result.pods_created,
+        "workload_started_at": result.workload_started_at,
+        "finished_at": result.finished_at,
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    return ExperimentResult(
+        workload=WorkloadKind(data["workload"]),
+        fault=fault_from_dict(data["fault"]),
+        seed=data["seed"],
+        injected=data["injected"],
+        activated=data["activated"],
+        dropped=data["dropped"],
+        orchestrator_failure=(
+            OrchestratorFailure(data["orchestrator_failure"])
+            if data["orchestrator_failure"]
+            else None
+        ),
+        client_failure=(
+            ClientFailure(data["client_failure"]) if data["client_failure"] else None
+        ),
+        client_zscore=data["client_zscore"],
+        orchestrator_observations=OrchestratorObservations(
+            **data["orchestrator_observations"]
+        ),
+        client_observations=ClientObservations(**data["client_observations"]),
+        latency_series=data["latency_series"],
+        user_error_count=data["user_error_count"],
+        user_request_count=data["user_request_count"],
+        component_error_count=data["component_error_count"],
+        injection_time=data["injection_time"],
+        pods_created=data["pods_created"],
+        workload_started_at=data["workload_started_at"],
+        finished_at=data["finished_at"],
+    )
+
+
+def _canonical_line(index: int, result_data: dict) -> str:
+    """One canonical JSONL record (stable key order, compact separators)."""
+    return json.dumps(
+        {"index": index, "result": result_data}, sort_keys=True, separators=(",", ":")
+    )
+
+
+# --------------------------------------------------------------------------
+# The store
+# --------------------------------------------------------------------------
+
+
+class ShardedResultStore:
+    """A directory of gzip JSONL shards holding completed experiment results.
+
+    The store is safe for the executor's access pattern: many writers each
+    append *distinct* shards (one per completed batch, atomic rename), one
+    reader scans/merges.  Readers never hold more than one decompressed
+    shard in memory.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.shard_dir = os.path.join(root, _SHARD_DIR)
+        #: Lazily built map of completed plan index -> shard path.
+        self._index_map: Optional[dict[int, str]] = None
+        #: One-shard read cache: (path, {index: result dict}).
+        self._cached_path: Optional[str] = None
+        self._cached_shard: dict[int, dict] = {}
+
+    # ------------------------------------------------------------- manifest
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST_NAME)
+
+    def open(self, fingerprint: str, total: int) -> None:
+        """Create the store (or verify it belongs to this campaign).
+
+        A store written by a different plan/configuration is rejected instead
+        of being silently mixed in, exactly like the pickle checkpoints.
+        """
+        manifest_path = self._manifest_path()
+        if os.path.exists(manifest_path):
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise ResultStoreMismatchError(
+                    f"result store {self.root!r} has an unreadable manifest ({error}); "
+                    "delete the directory (or point --results-dir elsewhere) to start fresh"
+                ) from error
+            if (
+                manifest.get("version") != STORE_VERSION
+                or manifest.get("fingerprint") != fingerprint
+            ):
+                raise ResultStoreMismatchError(
+                    f"result store {self.root!r} was written by a different campaign "
+                    "plan; delete the directory (or point --results-dir elsewhere) "
+                    "to start fresh"
+                )
+            return
+        os.makedirs(self.shard_dir, exist_ok=True)
+        payload = {"version": STORE_VERSION, "fingerprint": fingerprint, "total": total}
+        _atomic_write_bytes(
+            manifest_path, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+
+    def manifest(self) -> dict:
+        """The manifest of an existing store (for `campaign inspect`)."""
+        with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # ----------------------------------------------------------------- prep
+
+    def save_prep(self, fingerprint: str, prepared: list) -> None:
+        """Persist the golden baselines + field recordings (pickle, atomic)."""
+        os.makedirs(self.root, exist_ok=True)
+        payload = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "prepared": prepared,
+        }
+        buffer = io.BytesIO()
+        pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(os.path.join(self.root, _PREP_NAME), buffer.getvalue())
+
+    def load_prep(self, fingerprint: str) -> Optional[list]:
+        """Load the prepared baselines/recordings (None = recompute).
+
+        Prep written under a *different* configuration raises right away:
+        its results could never be merged either, and failing before the
+        expensive golden-baseline recomputation beats failing after it.
+        """
+        path = os.path.join(self.root, _PREP_NAME)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != STORE_VERSION:
+                return None
+            stored = payload.get("fingerprint")
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 - unreadable prep just means "recompute"
+            return None
+        if stored != fingerprint:
+            raise ResultStoreMismatchError(
+                f"result store {self.root!r} holds workload preparation from a "
+                "different campaign configuration; delete the directory (or point "
+                "--results-dir elsewhere) to start fresh"
+            )
+        return payload.get("prepared")
+
+    # -------------------------------------------------------------- writing
+
+    def write_shard(self, records: list[tuple[int, ExperimentResult]]) -> str:
+        """Serialize one completed batch to a new shard, atomically.
+
+        Called from worker processes; each batch covers a distinct set of
+        plan indexes, so shard names never collide across workers.  The gzip
+        stream is written with ``mtime=0`` so identical results produce
+        byte-identical shards.
+        """
+        if not records:
+            raise ValueError("refusing to write an empty shard")
+        indexes = [index for index, _ in records]
+        name = f"shard-{min(indexes):08d}-{max(indexes):08d}.jsonl.gz"
+        path = os.path.join(self.shard_dir, name)
+        os.makedirs(self.shard_dir, exist_ok=True)
+        buffer = io.BytesIO()
+        with gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0) as stream:
+            for index, result in records:
+                line = _canonical_line(index, result_to_dict(result))
+                stream.write(line.encode("utf-8") + b"\n")
+        _atomic_write_bytes(path, buffer.getvalue())
+        self._index_map = None  # the completed set changed
+        return path
+
+    # ------------------------------------------------------------- scanning
+
+    def shard_paths(self) -> list[str]:
+        """All shard files, in name (== first-index) order."""
+        if not os.path.isdir(self.shard_dir):
+            return []
+        names = sorted(
+            name
+            for name in os.listdir(self.shard_dir)
+            if name.startswith("shard-") and name.endswith(".jsonl.gz")
+        )
+        return [os.path.join(self.shard_dir, name) for name in names]
+
+    @staticmethod
+    def _iter_shard_records(path: str) -> Iterator[tuple[int, dict]]:
+        """Yield the complete ``(index, result dict)`` records of one shard.
+
+        A shard truncated mid-write yields its readable prefix: the gzip
+        stream may end abruptly (EOFError) or the last line may be cut short
+        (json error); both simply end the shard.
+        """
+        try:
+            with gzip.open(path, "rb") as stream:
+                for raw in stream:
+                    if not raw.endswith(b"\n"):
+                        return  # incomplete trailing record
+                    try:
+                        record = json.loads(raw)
+                    except ValueError:
+                        return
+                    if not isinstance(record, dict) or "index" not in record:
+                        return
+                    yield int(record["index"]), record.get("result", {})
+        except (EOFError, OSError, gzip.BadGzipFile):
+            return
+
+    def refresh(self) -> None:
+        """Drop the cached index map (new shards may have appeared on disk).
+
+        Workers write shards through their own store instances, so a parent
+        that scanned before execution must refresh before reading.
+        """
+        self._index_map = None
+        self._cached_path = None
+        self._cached_shard = {}
+
+    def completed_indexes(self) -> dict[int, str]:
+        """Map every completed plan index onto the shard that holds it.
+
+        This is the whole resume scan: O(completed shards), no result object
+        is materialized.  Later shards win when a re-run rewrote an index.
+        """
+        if self._index_map is None:
+            index_map: dict[int, str] = {}
+            for path in self.shard_paths():
+                for index, _ in self._iter_shard_records(path):
+                    index_map[index] = path
+            self._index_map = index_map
+        return self._index_map
+
+    # -------------------------------------------------------------- reading
+
+    def _load_shard(self, path: str) -> dict[int, dict]:
+        """Decompress one shard into an index->dict map (the unit of caching)."""
+        return {index: data for index, data in self._iter_shard_records(path)}
+
+    def _shard_for(self, index: int) -> dict[int, dict]:
+        path = self.completed_indexes().get(index)
+        if path is None:
+            raise KeyError(f"result index {index} is not in the store {self.root!r}")
+        if path != self._cached_path:
+            self._cached_shard = self._load_shard(path)
+            self._cached_path = path
+        return self._cached_shard
+
+    def load_result(self, index: int) -> ExperimentResult:
+        """Load one result by plan index (caches the containing shard)."""
+        return result_from_dict(self._shard_for(index)[index])
+
+    def iter_results(self, indexes: Iterable[int]) -> Iterator[ExperimentResult]:
+        """Yield results for ``indexes`` in the given order.
+
+        Because the executor writes plan-contiguous batches, iterating in
+        plan order decompresses every shard exactly once and keeps at most
+        one shard in memory.
+        """
+        for index in indexes:
+            yield self.load_result(index)
+
+    def iter_all(self) -> Iterator[ExperimentResult]:
+        """Yield every stored result in plan-index order."""
+        return self.iter_results(sorted(self.completed_indexes()))
+
+    def all_results(self) -> "StoredResults":
+        """A lazy, re-iterable view over every stored result (plan order)."""
+        return StoredResults(self, sorted(self.completed_indexes()))
+
+    # ------------------------------------------------------------ summaries
+
+    def record_count(self) -> int:
+        """Number of distinct completed experiments in the store."""
+        return len(self.completed_indexes())
+
+    def compressed_bytes(self) -> int:
+        """Total size of the shard files on disk."""
+        return sum(os.path.getsize(path) for path in self.shard_paths())
+
+    def results_digest(self) -> str:
+        """SHA-256 over the canonical records in plan-index order.
+
+        Serial and parallel runs of the same campaign chunk the plan
+        differently (different shard files) but must store identical result
+        records, so their digests must match; CI diffs exactly this.
+        """
+        digest = hashlib.sha256()
+        index_map = self.completed_indexes()
+        for index in sorted(index_map):
+            data = self._shard_for(index)[index]
+            digest.update(_canonical_line(index, data).encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+
+class StoredResults:
+    """A lazy, re-iterable plan-order view over a :class:`ShardedResultStore`.
+
+    Behaves like the result list the executor used to return — ``len``,
+    indexing, repeated iteration — but materializes one shard at a time, so
+    holding the view costs O(1) memory regardless of campaign size.
+    """
+
+    def __init__(self, store: ShardedResultStore, indexes: list[int]):
+        self.store = store
+        self.indexes = list(indexes)
+
+    def __len__(self) -> int:
+        return len(self.indexes)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return self.store.iter_results(self.indexes)
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self.store.load_result(i) for i in self.indexes[position]]
+        return self.store.load_result(self.indexes[position])
+
+    def __eq__(self, other):
+        """Element-wise equality against any result sequence (incl. lists).
+
+        Lets ``CampaignResult`` comparisons work unchanged whether a campaign
+        was streamed or held in memory; costs a full streaming pass.
+        """
+        if other is self:
+            return True
+        if not isinstance(other, (list, tuple, StoredResults)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write-then-rename so readers never observe a half-written file."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp_path, path)

@@ -14,9 +14,9 @@ events synchronously in revision order.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 
 class StoreQuotaExceeded(RuntimeError):

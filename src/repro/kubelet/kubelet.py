@@ -18,14 +18,13 @@ are modelled explicitly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.apiserver.apiserver import APIServer
 from repro.apiserver.client import APIClient
 from repro.apiserver.errors import ApiError, NotFoundError
 from repro.objects.kinds import make_lease
-from repro.objects.meta import controller_owner
 from repro.objects.quantities import node_allocatable, pod_resource_request
 from repro.sim.engine import Simulation
 

@@ -9,7 +9,7 @@ quantity string must degrade predictably instead of crashing the scheduler.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 _MEMORY_SUFFIXES = {
     "Ki": 1024,

@@ -17,7 +17,6 @@ from repro.apiserver.client import APIClient
 from repro.apiserver.errors import ApiError
 from repro.controllers.daemonset import tolerates_taints
 from repro.controllers.leaderelection import LeaderElector
-from repro.objects.meta import object_key
 from repro.objects.quantities import node_allocatable, pod_resource_request
 from repro.sim.engine import Simulation
 

@@ -15,7 +15,7 @@ Apiserver — the data behind the user-unawareness analysis (Figure 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

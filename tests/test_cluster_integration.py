@@ -1,6 +1,5 @@
 """Integration tests: a full booted cluster and the orchestration workloads."""
 
-import pytest
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.controllers.replicaset import pod_is_ready

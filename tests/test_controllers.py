@@ -1,7 +1,6 @@
 """Unit tests for the individual controllers, driven by hand against a
 minimal control plane (no other component loops running)."""
 
-import pytest
 
 from repro.apiserver.client import APIClient
 from repro.controllers.daemonset import DaemonSetController, tolerates_taints
@@ -73,8 +72,6 @@ def test_workqueue_dedup_and_fifo():
 
 
 def test_workqueue_backoff_grows_exponentially_and_resets():
-    queue = RateLimitedQueue(base_delay=1.0, max_delay=8.0)
-    delays = [queue.add_after_failure("k", 0.0) or queue.pop_ready(100.0) for _ in range(1)]
     queue = RateLimitedQueue(base_delay=1.0, max_delay=8.0)
     observed = []
     for _ in range(5):

@@ -3,7 +3,7 @@ failure mechanisms described in the paper's results section."""
 
 import pytest
 
-from repro.core.campaign import Campaign, CampaignConfig, FieldRecorder
+from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.classification import ClientFailure, OrchestratorFailure
 from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel

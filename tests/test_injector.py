@@ -1,6 +1,5 @@
 """Unit tests for the Mutiny injector: the where/what/when triplet."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

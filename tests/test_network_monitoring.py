@@ -1,6 +1,5 @@
 """Unit tests for the virtual cluster network and the metrics collector."""
 
-import pytest
 
 from repro.monitoring.metrics import MetricsCollector
 from repro.network.network import NETWORK_CONFIGMAP, ClusterNetwork
@@ -47,7 +46,7 @@ def _network_fixture(control_plane, nodes=("worker-1",)):
 
 def test_pods_programmed_only_with_network_manager_present(control_plane):
     api, network = _network_fixture(control_plane, nodes=("worker-1", "worker-2"))
-    pod = _running_pod(api, "app-1", {"app": "web"}, "worker-1", "10.244.0.10")
+    _running_pod(api, "app-1", {"app": "web"}, "worker-1", "10.244.0.10")
     network.sync()
     assert network.pod_reachable(api.get("Pod", "app-1"))
     # A pod on a node with no network manager never gets routes.

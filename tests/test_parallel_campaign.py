@@ -157,6 +157,28 @@ def test_checkpoint_roundtrip_and_mismatch(tmp_path):
         load_checkpoint(str(garbage), "fingerprint-a")
 
 
+def test_per_run_prep_matches_build_baseline():
+    # Preparation fans out one job per golden run; the baseline assembled
+    # from per-run stats must equal the one ExperimentRunner builds serially.
+    from repro.core.experiment import ExperimentConfig, ExperimentRunner
+    from repro.core.parallel import WorkloadPrep
+
+    config = ExperimentConfig()
+    executor = CampaignExecutor(config, workers=1)
+    ((baseline, recorded),) = executor.prepare_workloads(
+        [WorkloadPrep(workload=WorkloadKind.DEPLOY, golden_runs=2, record_seed=50)]
+    )
+    assert baseline == ExperimentRunner(config).build_baseline(WorkloadKind.DEPLOY, runs=2)
+    assert recorded, "the record run must have captured etcd-written fields"
+
+    # golden_runs=0 (the propagation prep) records fields but skips the baseline.
+    ((no_baseline, recorded_only),) = executor.prepare_workloads(
+        [WorkloadPrep(workload=WorkloadKind.DEPLOY, golden_runs=0, record_seed=60)]
+    )
+    assert no_baseline is None
+    assert recorded_only
+
+
 # ------------------------------------------------- end-to-end determinism
 
 
@@ -228,7 +250,7 @@ def test_campaign_resume_skips_workload_preparation(tmp_path, monkeypatch):
     def explode(*args, **kwargs):
         raise AssertionError("prep must come from the checkpoint on resume")
 
-    monkeypatch.setattr(parallel_module, "_prepare_workload", explode)
+    monkeypatch.setattr(parallel_module, "_run_golden_job", explode)
     resumed = Campaign(config).run(checkpoint_path=path)
     assert resumed.results == first.results
     assert resumed.baselines == first.baselines

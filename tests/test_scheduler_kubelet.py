@@ -1,8 +1,5 @@
 """Unit tests for the scheduler and the kubelet."""
 
-import pytest
-
-from repro.apiserver.client import APIClient
 from repro.kubelet.kubelet import Kubelet
 from repro.objects.kinds import (
     PRIORITY_SYSTEM_NODE_CRITICAL,
