@@ -1,0 +1,127 @@
+"""Distributed backend — coordinator overhead vs the local pool.
+
+Runs the same small campaign twice at equal worker counts: once through the
+local process-pool backend and once through the distributed backend (one
+coordinator in-process plus two real ``repro.cli worker`` subprocesses over
+a shared store directory), and reports the wall-clock overhead of the
+lease/plan protocol.  Timings go to stdout (and the nightly report); the
+file written to ``benchmarks/output/`` carries only layout-independent
+facts — digest equality and experiment counts — so the CI
+serial-vs-parallel drift check can diff it like every other rendered
+output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from _benchutil import write_output
+
+import repro
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.distributed import DistributedSettings
+from repro.core.resultstore import ShardedResultStore
+from repro.workloads.workload import WorkloadKind
+
+#: Worker count on both sides of the comparison: the local pool gets two
+#: processes, the distributed run gets two worker subprocesses.
+WORKER_COUNT = 2
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _config(workers: int) -> CampaignConfig:
+    return CampaignConfig(
+        workloads=(WorkloadKind.DEPLOY,),
+        golden_runs=1,
+        max_experiments_per_workload=8,
+        seed=7,
+        workers=workers,
+        chunk_size=2,
+    )
+
+
+def _spawn_worker(root: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (_SRC_DIR, env.get("PYTHONPATH")) if part
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--results-dir",
+            root,
+            "--worker-id",
+            worker_id,
+            "--poll-interval",
+            "0.1",
+            "--wait-timeout",
+            "600",
+            "--quiet",
+        ],
+        env=env,
+    )
+
+
+def test_distributed_coordinator_overhead(benchmark, tmp_path_factory):
+    local_root = str(tmp_path_factory.mktemp("dist-bench-local"))
+    started = time.monotonic()
+    local_result = Campaign(_config(WORKER_COUNT)).run(results_dir=local_root)
+    local_seconds = time.monotonic() - started
+
+    runs = {"count": 0}
+
+    def run_distributed() -> str:
+        runs["count"] += 1
+        root = str(tmp_path_factory.mktemp(f"dist-bench-remote-{runs['count']}"))
+        workers = [_spawn_worker(root, f"bench-w{i}") for i in range(WORKER_COUNT)]
+        try:
+            Campaign(_config(1)).run(
+                results_dir=root,
+                backend="distributed",
+                distributed=DistributedSettings(
+                    slice_size=2, poll_interval=0.1, timeout=600
+                ),
+            )
+        finally:
+            for worker in workers:
+                worker.wait(timeout=120)
+        return root
+
+    started = time.monotonic()
+    distributed_root = benchmark(run_distributed)
+    distributed_seconds = time.monotonic() - started
+
+    local_digest = ShardedResultStore(local_root).results_digest()
+    distributed_store = ShardedResultStore(distributed_root)
+    total = local_result.total_experiments()
+
+    # Only worker-count-independent facts go into the diffed output file.
+    write_output(
+        "distributed_overhead.txt",
+        "\n".join(
+            [
+                "Distributed backend drift check",
+                f"experiments          : {total}",
+                f"digest matches local : {distributed_store.results_digest() == local_digest}",
+                f"records (raw==distinct): "
+                f"{distributed_store.stored_record_count() == distributed_store.record_count() == total}",
+            ]
+        ),
+    )
+    print(
+        f"\nlocal pool ({WORKER_COUNT} workers): {local_seconds:.2f}s; "
+        f"distributed (coordinator + {WORKER_COUNT} worker processes): "
+        f"{distributed_seconds:.2f}s; "
+        f"overhead {distributed_seconds - local_seconds:+.2f}s"
+    )
+
+    assert distributed_store.results_digest() == local_digest
+    assert distributed_store.stored_record_count() == total
+    assert distributed_store.record_count() == total

@@ -4,7 +4,10 @@ Usage::
 
     python -m repro.cli campaign [--workers N] [--max-experiments M]
                                  [--results-dir DIR | --checkpoint FILE]
+                                 [--backend {local,distributed}]
                                  [--tables] [--json FILE]
+    python -m repro.cli worker --results-dir DIR [--worker-id ID]
+                               [--lease-ttl S] [--max-slices N]
     python -m repro.cli propagation [--workers N] [--fields-per-component K]
     python -m repro.cli inspect RESULTS_DIR [--json FILE]
 
@@ -17,8 +20,15 @@ recording, generation, execution, classification) through the parallel
 ``--results-dir`` the workers stream every finished batch into a sharded
 gzip-JSONL result store and a rerun of the same configuration resumes from
 the completed shards (use this for paper-scale campaigns; ``--checkpoint``
-is the legacy monolithic pickle).  ``inspect`` summarizes an existing result
-store without running anything.
+is the legacy monolithic pickle).
+
+``campaign --backend distributed`` turns this process into the coordinator
+of a multi-host campaign: it publishes the frozen plan into the (shared)
+``--results-dir`` and folds the shards streamed in by any number of
+``worker`` processes — run one per host sharing the directory — into the
+same merged result a local run produces.  ``inspect`` summarizes an
+existing result store (including per-worker slice provenance and
+outstanding leases of a distributed run) without running anything.
 """
 
 from __future__ import annotations
@@ -31,6 +41,12 @@ import time
 from typing import Optional
 
 from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.core.distributed import (
+    DistributedSettings,
+    DistributedTimeoutError,
+    DistributedWorker,
+    render_provenance,
+)
 from repro.core.report import (
     render_campaign_summary,
     render_critical_fields,
@@ -119,6 +135,19 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """Reject non-numbers and values <= 0, naming the input (durations)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid value {text!r}: expected a number > 0"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"invalid value {text!r}: must be > 0")
+    return value
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workloads",
@@ -170,12 +199,28 @@ def _progress_printer(quiet: bool, started_at: float):
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    settings = None
+    if args.backend == "distributed":
+        if not args.results_dir:
+            print(
+                "error: --backend distributed requires --results-dir "
+                "(the directory shared with the worker processes)",
+                file=sys.stderr,
+            )
+            return 2
+        settings = DistributedSettings(
+            slice_size=args.slice_size,
+            poll_interval=args.poll_interval,
+            timeout=args.coordinator_timeout,
+        )
     config = _make_config(args, args.max_experiments)
     campaign = Campaign(config)
     result = campaign.run(
         progress=_progress_printer(args.quiet, time.monotonic()),
         checkpoint_path=args.checkpoint,
         results_dir=args.results_dir,
+        backend=args.backend,
+        distributed=settings,
     )
     print(render_campaign_summary(result))
     if args.tables:
@@ -216,6 +261,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     campaign = CampaignResult(results=store.all_results())
     digest = store.results_digest()
     print(render_store_summary(store, include_layout=True, campaign=campaign, digest=digest))
+    provenance = render_provenance(args.results_dir)
+    if provenance:
+        print()
+        print(provenance)
     if args.json:
         payload = {
             "experiments": campaign.total_experiments(),
@@ -225,10 +274,50 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             # Worker-count-independent digest of the stored records: serial
             # and parallel runs of one campaign must produce the same value.
             "results_digest": digest,
+            # Raw (duplicate-counting) record count: equals "experiments" iff
+            # zero experiments were replayed into a second shard, so diffing
+            # this JSON against a serial run's proves a distributed campaign
+            # (even one with a SIGKILLed worker) lost and duplicated nothing.
+            "stored_records": store.stored_record_count(),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _worker_log_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    return progress
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one distributed campaign worker against a shared result store."""
+    worker = DistributedWorker(
+        args.results_dir,
+        worker_id=args.worker_id,
+        workers=args.workers if args.workers is not None else 1,
+        chunk_size=args.chunk_size,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat,
+        poll_interval=args.poll_interval,
+        wait_timeout=args.wait_timeout,
+        max_slices=args.max_slices,
+        stall_after_batches=args.stall_after_batches,
+        progress=_worker_log_printer(args.quiet),
+    )
+    # A timeout waiting for the plan surfaces through main()'s shared
+    # DistributedTimeoutError handler (stderr message, exit code 2).
+    report = worker.run()
+    print(
+        f"worker {report.worker_id}: {report.slices_completed} slice(s), "
+        f"{report.experiments_run} experiment(s) executed"
+    )
     return 0
 
 
@@ -285,12 +374,128 @@ def build_parser() -> argparse.ArgumentParser:
         "(memory stays bounded by one batch — use for paper-scale campaigns)",
     )
     campaign.add_argument(
+        "--backend",
+        choices=("local", "distributed"),
+        default="local",
+        help="execution backend: 'local' shards across a process pool; "
+        "'distributed' makes this process the coordinator of worker "
+        "processes sharing --results-dir (default: local)",
+    )
+    campaign.add_argument(
+        "--slice-size",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="distributed: plan indexes per leased worker slice "
+        "(default: plan split into 8 slices)",
+    )
+    campaign.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="S",
+        help="distributed: seconds between coordinator progress scans (default: 0.5)",
+    )
+    campaign.add_argument(
+        "--coordinator-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="distributed: fail if the campaign is incomplete after S seconds "
+        "(default: wait forever)",
+    )
+    campaign.add_argument(
         "--tables", action="store_true", help="print Tables III-V and Figures 6-7"
     )
     campaign.add_argument(
         "--json", metavar="FILE", default=None, help="write a JSON summary to FILE"
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="execute leased plan slices of a distributed campaign "
+        "(run one per host sharing the coordinator's --results-dir)",
+    )
+    worker.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        required=True,
+        help="the shared result-store directory the coordinator publishes into",
+    )
+    worker.add_argument(
+        "--worker-id",
+        metavar="ID",
+        default=None,
+        help="lease/provenance identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="local process-pool size for executing a claimed slice "
+        "(default: 1 = in-process)",
+    )
+    worker.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="experiments per batch/shard (default: sized automatically)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=_positive_float,
+        default=30.0,
+        metavar="S",
+        help="seconds of missed heartbeats after which this worker's slice "
+        "lease may be reclaimed; keep well above one batch duration "
+        "(default: 30)",
+    )
+    worker.add_argument(
+        "--heartbeat",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="seconds between lease heartbeats (default: lease-ttl / 4)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="S",
+        help="seconds between claim scans while other workers hold every "
+        "remaining slice (default: 0.5)",
+    )
+    worker.add_argument(
+        "--wait-timeout",
+        type=_positive_float,
+        default=60.0,
+        metavar="S",
+        help="seconds to wait for the coordinator to publish the plan (default: 60)",
+    )
+    worker.add_argument(
+        "--max-slices",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after completing N slices (default: run until the campaign "
+        "is complete)",
+    )
+    worker.add_argument(
+        "--stall-after-batches",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fault injection: after N completed batches, stop heartbeating and "
+        "hold the lease until killed — simulates a hung worker so the "
+        "reclamation path can be exercised (tests/CI)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines on stderr"
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     propagation = subparsers.add_parser(
         "propagation", help="run the Table VI component-to-Apiserver experiments"
@@ -337,7 +542,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.max_experiments = None
     try:
         return args.func(args)
-    except ResultStoreMismatchError as error:
+    except (ResultStoreMismatchError, DistributedTimeoutError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

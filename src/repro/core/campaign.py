@@ -29,7 +29,7 @@ same configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.core.classification import (
     CampaignTally,
@@ -44,6 +44,7 @@ from repro.core.parallel import (
     ExperimentTask,
     ProgressCallback,
     WorkloadPrep,
+    campaign_fingerprint,
     load_checkpoint_prep,
     prep_fingerprint,
 )
@@ -51,6 +52,9 @@ from repro.core.resultstore import ShardedResultStore
 from repro.serialization import iter_field_paths
 from repro.sim.rng import DeterministicRNG
 from repro.workloads.workload import WorkloadKind
+
+if TYPE_CHECKING:  # circular at runtime: distributed imports this module
+    from repro.core.distributed import DistributedSettings
 
 #: Kinds whose instance names are stable across runs (user- or boot-created),
 #: so a fault spec can pin the exact instance.  Names of generated objects
@@ -428,6 +432,8 @@ class Campaign:
         progress: Optional[ProgressCallback] = None,
         checkpoint_path: Optional[str] = None,
         results_dir: Optional[str] = None,
+        backend: str = "local",
+        distributed: Optional["DistributedSettings"] = None,
     ) -> CampaignResult:
         """Run the whole campaign and return its results.
 
@@ -443,7 +449,26 @@ class Campaign:
           paper-scale runs.
         * ``checkpoint_path`` — the legacy monolithic pickle checkpoint,
           rewritten after every batch; fine for small campaigns.
+
+        Two execution backends are supported:
+
+        * ``backend="local"`` — the process-pool
+          :class:`~repro.core.parallel.CampaignExecutor` (the default).
+        * ``backend="distributed"`` — this process becomes the
+          *coordinator*: it prepares the baselines, publishes the frozen
+          plan into ``results_dir`` (which is required and must be a
+          directory shared with the workers), and watches/folds worker
+          shards until the campaign completes.  Experiments execute in
+          separate ``python -m repro.cli worker --results-dir ...``
+          processes on any number of hosts; ``distributed`` tunes slice
+          size, poll interval, and the overall deadline.  The merged result
+          (and its store digest) is identical to a local run of the same
+          configuration.
         """
+        if backend not in ("local", "distributed"):
+            raise ValueError(f"unknown campaign backend {backend!r}")
+        if backend == "distributed" and not results_dir:
+            raise ValueError("the distributed backend requires results_dir")
         with self._executor(
             progress=progress, checkpoint_path=checkpoint_path, results_dir=results_dir
         ) as executor:
@@ -457,23 +482,76 @@ class Campaign:
             elif results_dir:
                 store = ShardedResultStore(results_dir)
                 prepared = store.load_prep(prep_digest)
+            prep_was_loaded = prepared is not None
             tasks, baselines, recorded_fields = self.plan_campaign(executor, prepared=prepared)
+            prepared_pairs = [
+                (baselines[workload.value], recorded_fields[workload.value])
+                for workload in self.config.workloads
+            ]
+            if backend == "distributed":
+                return self._run_distributed(
+                    results_dir,
+                    tasks,
+                    baselines,
+                    recorded_fields,
+                    prepared_pairs if not prep_was_loaded else None,
+                    prep_digest,
+                    distributed,
+                    progress,
+                )
             # In both layouts the prep is persisted through the executor.
             # The checkpoint re-attaches it on every write (resumed or not);
             # the store writes it once, and only after the store's campaign
             # fingerprint has been validated, so a mis-pointed --results-dir
             # is rejected before anything inside the foreign store is touched.
-            if checkpoint_path or (results_dir and prepared is None):
-                executor.set_checkpoint_prep(
-                    prep_digest,
-                    [
-                        (baselines[workload.value], recorded_fields[workload.value])
-                        for workload in self.config.workloads
-                    ],
-                )
+            if checkpoint_path or (results_dir and not prep_was_loaded):
+                executor.set_checkpoint_prep(prep_digest, prepared_pairs)
             results = executor.run_experiments(tasks, baselines=baselines)
         return CampaignResult(
             results=results, baselines=baselines, recorded_fields=recorded_fields
+        )
+
+    def _run_distributed(
+        self,
+        results_dir: str,
+        tasks: list[ExperimentTask],
+        baselines: dict[str, GoldenBaseline],
+        recorded_fields: dict[str, list[RecordedField]],
+        fresh_prep: Optional[list],
+        prep_digest: Optional[str],
+        settings: Optional["DistributedSettings"],
+        progress: Optional[ProgressCallback],
+    ) -> CampaignResult:
+        """The coordinator side of a distributed campaign.
+
+        Publishes the frozen plan (idempotent on resume, hard error on a
+        foreign store), persists freshly computed prep — only after the
+        store's fingerprint check passed, preserving the mis-pointed
+        ``--results-dir`` invariant — then watches the shared directory and
+        folds worker shards into the streaming tally until every plan index
+        is stored.
+        """
+        from repro.core.distributed import DistributedCoordinator
+
+        fingerprint = campaign_fingerprint(tasks, self.config.experiment, baselines)
+        coordinator = DistributedCoordinator(
+            results_dir,
+            tasks,
+            baselines,
+            self.config.experiment,
+            fingerprint=fingerprint,
+            settings=settings,
+            progress=progress,
+        )
+        coordinator.publish()
+        if fresh_prep is not None:
+            ShardedResultStore(results_dir).save_prep(prep_digest, fresh_prep)
+        results, tally = coordinator.watch()
+        return CampaignResult(
+            results=results,
+            baselines=baselines,
+            recorded_fields=recorded_fields,
+            _tally=tally,
         )
 
     # ---------------------------------------------------- propagation (VI-C4)

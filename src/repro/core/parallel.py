@@ -20,6 +20,7 @@ executing the experiments that are still missing.
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -33,6 +34,7 @@ from repro.core.resultstore import (
     ResultStoreMismatchError,
     ShardedResultStore,
     StoredResults,
+    atomic_write_bytes,
 )
 from repro.workloads.workload import WorkloadKind
 
@@ -134,20 +136,26 @@ def _worker_runner(experiment_config: ExperimentConfig) -> ExperimentRunner:
     return runner
 
 
-def _run_batch(
+def _run_batch_local(
+    runner: ExperimentRunner,
     tasks: list[ExperimentTask],
     baselines: dict[str, GoldenBaseline],
     store_root: Optional[str] = None,
 ):
-    """Run one batch of tasks in a worker process.
+    """Run one batch of tasks against an explicit runner.
 
-    Without a store the batch results travel back to the parent in memory
-    (the original behaviour).  With ``store_root`` the *worker* serializes
-    the finished batch to one compressed shard and only the completed plan
-    indexes travel back, so the parent's memory stays bounded by its own
-    bookkeeping no matter how large the campaign is.
+    Without a store the batch results travel back to the caller in memory
+    (the original behaviour).  With ``store_root`` the batch is serialized
+    to one compressed shard and only the completed plan indexes travel back,
+    so the parent's memory stays bounded by its own bookkeeping no matter
+    how large the campaign is.
+
+    This is the slice-execution core both backends share: process-pool
+    workers reach it through :func:`_run_batch` (pool-initialized runner),
+    while the serial path and the distributed ``repro.cli worker`` loop call
+    it with their own runner — no process-global state, so several worker
+    loops may run inside one process (e.g. threads in tests).
     """
-    runner: ExperimentRunner = _WORKER_STATE["runner"]
     results = [
         (
             task.index,
@@ -164,6 +172,15 @@ def _run_batch(
         return results
     ShardedResultStore(store_root).write_shard(results)
     return [index for index, _ in results]
+
+
+def _run_batch(
+    tasks: list[ExperimentTask],
+    baselines: dict[str, GoldenBaseline],
+    store_root: Optional[str] = None,
+):
+    """Run one batch of tasks in a pool worker process."""
+    return _run_batch_local(_WORKER_STATE["runner"], tasks, baselines, store_root)
 
 
 def _run_golden_job(
@@ -328,10 +345,9 @@ def write_checkpoint(
     }
     if prep is not None:
         payload["prep"] = prep
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp_path, path)
+    buffer = io.BytesIO()
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 # --------------------------------------------------------------------------
@@ -452,7 +468,7 @@ class CampaignExecutor:
             self.progress(len(completed), total)
 
         if pending:
-            self._execute_chunks(
+            self.execute_slice(
                 pending,
                 baselines,
                 finish=lambda batch: self._finish_batch(batch, completed, fingerprint, total),
@@ -480,27 +496,36 @@ class CampaignExecutor:
                 self.progress(len(done), total)
 
         if pending:
-            self._execute_chunks(pending, baselines, finish, store_root=self.results_dir)
+            self.execute_slice(pending, baselines, finish, store_root=self.results_dir)
             store.refresh()  # the workers added shards behind our scan
         return StoredResults(store, [task.index for task in tasks])
 
-    def _execute_chunks(self, pending, baselines, finish, store_root=None) -> None:
-        """Dispatch pending tasks in batches, folding each with ``finish``.
+    def execute_slice(self, pending, baselines, finish, store_root=None) -> None:
+        """Dispatch a slice of pending tasks in batches, folding each with
+        ``finish``.
 
-        The one dispatch loop both persistence layouts share: batches run
-        serially in-process or across the pool, and ``finish`` is called with
-        each batch's `_run_batch` return value as it completes — so progress
-        (and checkpoints) advance even while other batches are still running.
+        The one dispatch loop every execution path shares — plan slice →
+        batches → results/shards: batches run serially in-process or across
+        the pool, and ``finish`` is called with each batch's
+        :func:`_run_batch` return value as it completes, so progress (and
+        checkpoints, and distributed lease heartbeats) advance even while
+        other batches are still running.  The local process-pool backend
+        hands the whole pending plan to one call; the distributed worker
+        loop calls it once per leased slice.  An exception raised by
+        ``finish`` aborts the remaining batches of the slice (the
+        distributed worker uses this to abandon a lost lease — already
+        written shards always survive).
+
+        The serial path builds its own runner rather than touching the
+        pool's process-global state, so several executors may run slices
+        concurrently inside one process (e.g. worker loops in threads).
         """
         workers = min(self.workers, max(len(pending), 1))
         chunks = self._chunks(pending, workers)
         if workers <= 1:
-            _init_worker(self.experiment_config)
-            try:
-                for chunk in chunks:
-                    finish(_run_batch(chunk, baselines or {}, store_root))
-            finally:
-                _WORKER_STATE.clear()
+            runner = ExperimentRunner(self.experiment_config)
+            for chunk in chunks:
+                finish(_run_batch_local(runner, chunk, baselines or {}, store_root))
             return
         pool = self._get_pool()
         futures = {

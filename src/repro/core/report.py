@@ -83,8 +83,13 @@ def render_store_summary(
         "Campaign summary", "Result store summary", 1
     )
     if include_layout:
+        # Raw vs distinct record counts differ only when an experiment was
+        # replayed into a second shard (e.g. a mis-tuned distributed lease
+        # TTL); surfacing both makes wasted work visible at a glance.
         text += (
             f"\n\nshards             : {len(store.shard_paths())}"
+            f"\nshard records      : {store.stored_record_count()}"
+            f" ({store.record_count()} distinct)"
             f"\ncompressed size    : {store.compressed_bytes()} bytes"
             f"\nresults digest     : {digest if digest else store.results_digest()}"
         )

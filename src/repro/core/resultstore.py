@@ -190,6 +190,14 @@ class ShardedResultStore:
         #: One-shard read cache: (path, {index: result dict}).
         self._cached_path: Optional[str] = None
         self._cached_shard: dict[int, dict] = {}
+        #: Per-shard parse cache: path -> (file size, record indexes).
+        #: Shards are immutable once atomically renamed into place, so a
+        #: repeat scan (the distributed coordinator/workers poll the store
+        #: every few hundred milliseconds) only decompresses paths it has
+        #: never seen — not the whole store again.  The size key catches the
+        #: one way a path can change content: a same-named shard rewritten
+        #: after a truncated predecessor lost every record.
+        self._shard_record_cache: dict[str, tuple[int, list[int]]] = {}
 
     # ------------------------------------------------------------- manifest
 
@@ -224,7 +232,7 @@ class ShardedResultStore:
             return
         os.makedirs(self.shard_dir, exist_ok=True)
         payload = {"version": STORE_VERSION, "fingerprint": fingerprint, "total": total}
-        _atomic_write_bytes(
+        atomic_write_bytes(
             manifest_path, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         )
 
@@ -245,7 +253,7 @@ class ShardedResultStore:
         }
         buffer = io.BytesIO()
         pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-        _atomic_write_bytes(os.path.join(self.root, _PREP_NAME), buffer.getvalue())
+        atomic_write_bytes(os.path.join(self.root, _PREP_NAME), buffer.getvalue())
 
     def load_prep(self, fingerprint: str) -> Optional[list]:
         """Load the prepared baselines/recordings (None = recompute).
@@ -294,7 +302,7 @@ class ShardedResultStore:
             for index, result in records:
                 line = _canonical_line(index, result_to_dict(result))
                 stream.write(line.encode("utf-8") + b"\n")
-        _atomic_write_bytes(path, buffer.getvalue())
+        atomic_write_bytes(path, buffer.getvalue())
         self._index_map = None  # the completed set changed
         return path
 
@@ -338,22 +346,48 @@ class ShardedResultStore:
         """Drop the cached index map (new shards may have appeared on disk).
 
         Workers write shards through their own store instances, so a parent
-        that scanned before execution must refresh before reading.
+        that scanned before execution must refresh before reading.  The
+        per-shard parse cache survives: already-seen shards are immutable,
+        so a refresh only costs parsing whatever is genuinely new.
         """
         self._index_map = None
         self._cached_path = None
         self._cached_shard = {}
 
+    def _shard_indexes(self, path: str) -> list[int]:
+        """The record indexes of one shard (cached; shards are immutable)."""
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return []
+        cached = self._shard_record_cache.get(path)
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        indexes: list[int] = []
+        records: dict[int, dict] = {}
+        for index, data in self._iter_shard_records(path):
+            indexes.append(index)
+            records[index] = data
+        self._shard_record_cache[path] = (size, indexes)
+        # Hand the decompressed records to the one-shard read cache: the
+        # common next step (the coordinator folding the indexes this scan
+        # just discovered) then reads them without gunzipping the shard a
+        # second time.  Memory stays bounded by one shard as before.
+        self._cached_path = path
+        self._cached_shard = records
+        return indexes
+
     def completed_indexes(self) -> dict[int, str]:
         """Map every completed plan index onto the shard that holds it.
 
-        This is the whole resume scan: O(completed shards), no result object
-        is materialized.  Later shards win when a re-run rewrote an index.
+        This is the whole resume scan: O(completed shards) on first use and
+        O(*new* shards) after a :meth:`refresh`, no result object is
+        materialized.  Later shards win when a re-run rewrote an index.
         """
         if self._index_map is None:
             index_map: dict[int, str] = {}
             for path in self.shard_paths():
-                for index, _ in self._iter_shard_records(path):
+                for index in self._shard_indexes(path):
                     index_map[index] = path
             self._index_map = index_map
         return self._index_map
@@ -400,6 +434,20 @@ class ShardedResultStore:
     def record_count(self) -> int:
         """Number of distinct completed experiments in the store."""
         return len(self.completed_indexes())
+
+    def stored_record_count(self) -> int:
+        """Raw record count across every shard, *counting duplicates*.
+
+        Results are deterministic, so a replayed experiment rewrites an
+        identical record and can never corrupt the merged digest — but it is
+        wasted work.  A healthy campaign (local resume or distributed
+        workers) therefore keeps this equal to :meth:`record_count`; CI
+        asserts exactly that to prove a reclaimed worker slice replayed
+        nothing that was already stored.  Served from the per-shard parse
+        cache, so after a completed-index scan this costs one stat per
+        shard, not a second decompression pass.
+        """
+        return sum(len(self._shard_indexes(path)) for path in self.shard_paths())
 
     def compressed_bytes(self) -> int:
         """Total size of the shard files on disk."""
@@ -459,9 +507,42 @@ class StoredResults:
         return all(mine == theirs for mine, theirs in zip(self, other))
 
 
-def _atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write-then-rename so readers never observe a half-written file."""
-    tmp_path = f"{path}.tmp"
+def fsync_directory(path: str) -> None:
+    """Flush a directory's entry table to disk (best-effort).
+
+    ``os.replace`` makes a rename *atomic* but not *durable*: on filesystems
+    that don't journal directory operations synchronously (and on networked
+    shared filesystems, which the distributed backend runs over), the new
+    entry can be lost on power failure unless the containing directory is
+    fsynced.  Directories can't be fsynced on some platforms; that degrades
+    to the old behaviour rather than failing the write.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write-fsync-rename, then fsync the directory, so a completed write is
+    both atomic (readers never observe a half-written file) and durable on
+    non-ext4 shared filesystems.  Shared by the shard store, the checkpoint
+    writer, and the distributed lease/plan files.
+
+    The temporary name embeds the pid: distinct processes (coordinator and
+    workers on a shared directory) may write the same target path without
+    scribbling over each other's in-flight temp file.
+    """
+    tmp_path = f"{path}.{os.getpid()}.tmp"
     with open(tmp_path, "wb") as handle:
         handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+    fsync_directory(os.path.dirname(path) or ".")

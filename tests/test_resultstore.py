@@ -216,6 +216,61 @@ def test_plan_order_iteration_loads_each_shard_once(tmp_path, monkeypatch):
     assert len(set(loads)) == 3
 
 
+def test_refresh_only_parses_new_shards(tmp_path, monkeypatch):
+    # Shards are immutable once renamed into place, so a refresh (the
+    # distributed coordinator and workers poll the store continuously) must
+    # decompress only shards it has never seen — not the whole store again.
+    store = ShardedResultStore(str(tmp_path / "store"))
+    store.open("fp", total=4)
+    store.write_shard([(index, _full_result(index)) for index in range(0, 2)])
+
+    parses: list[str] = []
+    original = ShardedResultStore._iter_shard_records
+
+    def counting(path):
+        parses.append(path)
+        return original(path)
+
+    monkeypatch.setattr(ShardedResultStore, "_iter_shard_records", staticmethod(counting))
+    assert set(store.completed_indexes()) == {0, 1}
+    assert len(parses) == 1
+    store.write_shard([(index, _full_result(index)) for index in range(2, 4)])
+    store.refresh()
+    assert set(store.completed_indexes()) == {0, 1, 2, 3}
+    assert len(parses) == 2  # only the new shard was decompressed
+    # The raw-record count rides the same cache: no further decompression.
+    assert store.stored_record_count() == 4
+    assert len(parses) == 2
+
+    # A shard truncated in place (same path, smaller size) is re-parsed.
+    victim = store.shard_paths()[0]
+    with open(victim, "rb") as handle:
+        payload = handle.read()
+    with open(victim, "wb") as handle:
+        handle.write(payload[: len(payload) // 2])
+    store.refresh()
+    assert set(store.completed_indexes()) < {0, 1, 2, 3}
+    assert len(parses) == 3
+
+
+def test_scan_leaves_fresh_shard_in_read_cache(tmp_path, monkeypatch):
+    # The distributed coordinator's hot path: each poll scans the store and
+    # immediately folds the indexes it just discovered.  The scan must hand
+    # its decompressed records to the read cache so the fold doesn't gunzip
+    # the same (typically single new) shard a second time.
+    store = ShardedResultStore(str(tmp_path / "store"))
+    store.open("fp", total=2)
+    store.write_shard([(index, _full_result(index)) for index in range(2)])
+    store.refresh()
+    assert set(store.completed_indexes()) == {0, 1}
+
+    def explode(self, path):
+        raise AssertionError("freshly scanned shard was decompressed twice")
+
+    monkeypatch.setattr(ShardedResultStore, "_load_shard", explode)
+    assert store.load_result(1) == _full_result(1)
+
+
 def test_streaming_pass_memory_is_bounded_by_one_shard(tmp_path):
     # 2,000 results across 100 shards: a full streaming pass (the tally all
     # aggregations fold from) must peak far below the materialized campaign,
