@@ -1,0 +1,112 @@
+"""Shard transports — POSIX vs object-store write/scan throughput.
+
+Streams the same synthetic result records through a sharded store over both
+transports (the shared-directory backend and the local object-store
+emulation server) and reports shard write and store scan throughput side by
+side — the object store pays one HTTP round trip per shard where POSIX pays
+a rename, and this benchmark keeps that overhead visible in the nightly
+record.  Timings go to stdout (and the nightly report); the file written to
+``benchmarks/output/`` carries only transport-independent facts — record
+counts and digest equality — so the CI serial-vs-parallel drift check can
+diff it like every other rendered output.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _benchutil import bench_scale, write_output
+
+from repro.core.objstore import LocalObjectStore
+from repro.core.resultstore import ShardedResultStore, result_to_dict
+from repro.core.experiment import ExperimentResult
+from repro.workloads.workload import WorkloadKind
+
+#: Records per synthetic shard (the executor's batch size, roughly).
+SHARD_RECORDS = 20
+
+
+def _records(total: int) -> list[tuple[int, dict]]:
+    base = result_to_dict(
+        ExperimentResult(workload=WorkloadKind.DEPLOY, fault=None, seed=0)
+    )
+    records = []
+    for index in range(total):
+        data = dict(base)
+        data["seed"] = 1000 + index
+        data["latency_series"] = [0.01 * (index % 7), 0.02, 0.03]
+        records.append((index, data))
+    return records
+
+
+def _write_store(root: str, records: list[tuple[int, dict]]) -> ShardedResultStore:
+    store = ShardedResultStore(root)
+    store.open("bench-transport", total=len(records))
+    for start in range(0, len(records), SHARD_RECORDS):
+        store.write_shard_dicts(records[start : start + SHARD_RECORDS])
+    return store
+
+
+def _scan_store(root: str) -> str:
+    store = ShardedResultStore(root)  # a fresh instance: cold caches
+    assert store.record_count() > 0
+    return store.results_digest()
+
+
+def test_transport_write_scan_throughput(benchmark, tmp_path_factory):
+    total = 200 * bench_scale()
+    records = _records(total)
+    server = LocalObjectStore(("127.0.0.1", 0)).start()
+    try:
+        runs = {"count": 0}
+
+        def posix_write_scan() -> tuple[str, str]:
+            runs["count"] += 1
+            root = str(tmp_path_factory.mktemp(f"posix-{runs['count']}"))
+            _write_store(root, records)
+            return root, _scan_store(root)
+
+        _, posix_digest = benchmark(posix_write_scan)
+
+        # The printed comparison times exactly one pass per transport: the
+        # benchmark() call above may run calibration rounds when
+        # pytest-benchmark is enabled, so it can't feed a fair side-by-side.
+        started = time.monotonic()
+        posix_root = str(tmp_path_factory.mktemp("posix-compare"))
+        _write_store(posix_root, records)
+        posix_write_seconds = time.monotonic() - started
+        started = time.monotonic()
+        _scan_store(posix_root)
+        posix_scan_seconds = time.monotonic() - started
+
+        remote_root = f"{server.url}/bench"
+        started = time.monotonic()
+        _write_store(remote_root, records)
+        remote_write_seconds = time.monotonic() - started
+        started = time.monotonic()
+        remote_digest = _scan_store(remote_root)
+        remote_scan_seconds = time.monotonic() - started
+
+        shards = -(-total // SHARD_RECORDS)
+        print(
+            f"\nposix ({total} records, {shards} shards): write "
+            f"{posix_write_seconds:.2f}s + scan {posix_scan_seconds:.2f}s; "
+            f"object store: write {remote_write_seconds:.2f}s + scan "
+            f"{remote_scan_seconds:.2f}s"
+        )
+
+        # Only transport-independent facts go into the diffed output file.
+        write_output(
+            "transport_throughput.txt",
+            "\n".join(
+                [
+                    "Shard transport drift check",
+                    f"records              : {total}",
+                    f"shards               : {shards}",
+                    f"digest matches posix : {remote_digest == posix_digest}",
+                ]
+            ),
+        )
+        assert remote_digest == posix_digest
+    finally:
+        server.stop()

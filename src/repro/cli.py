@@ -10,6 +10,8 @@ Usage::
                                [--lease-ttl S] [--max-slices N]
     python -m repro.cli propagation [--workers N] [--fields-per-component K]
     python -m repro.cli inspect RESULTS_DIR [--json FILE]
+    python -m repro.cli federate DEST SOURCE [SOURCE ...]
+    python -m repro.cli objstore [--host H] [--port P]
 
 or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
 
@@ -29,6 +31,14 @@ of a multi-host campaign: it publishes the frozen plan into the (shared)
 same merged result a local run produces.  ``inspect`` summarizes an
 existing result store (including per-worker slice provenance and
 outstanding leases of a distributed run) without running anything.
+
+Everywhere a results dir is accepted, the store root may also be an
+``objstore://host:port/bucket`` URL: the store then speaks S3-style
+conditional HTTP to an object store instead of a shared filesystem, which
+frees distributed workers from needing any common mount.  ``objstore`` runs
+the local emulation server behind that scheme; ``federate`` merges several
+stores of the *same* campaign (any mix of transports) into one store whose
+digest is byte-identical to a single serial run.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ from repro.core.report import (
     render_table6,
 )
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
+from repro.core.transport import TransportError
 from repro.workloads.workload import WorkloadKind
 
 _WORKLOADS = {kind.value: kind for kind in WorkloadKind}
@@ -249,10 +260,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Summarize a sharded result store without running any experiment."""
     store = ShardedResultStore(args.results_dir)
-    if not os.path.exists(os.path.join(args.results_dir, "MANIFEST.json")):
+    if not store.has_manifest():
         print(
             f"error: {args.results_dir!r} is not a result store "
-            "(no MANIFEST.json); point inspect at a --results-dir directory",
+            "(no MANIFEST.json); point inspect at a --results-dir store",
             file=sys.stderr,
         )
         return 2
@@ -321,6 +332,36 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federate(args: argparse.Namespace) -> int:
+    """Merge several stores of one campaign into a single store."""
+    from repro.core.federate import federate_stores
+
+    progress = None
+    if not args.quiet:
+
+        def progress(done: int, total: int) -> None:
+            if done == total or done % 500 == 0:
+                print(f"[{done}/{total}] records merged", file=sys.stderr)
+
+    report = federate_stores(
+        args.dest,
+        args.sources,
+        shard_records=args.shard_records,
+        progress=progress,
+    )
+    print(report.describe())
+    print(f"\nrun `python -m repro.cli inspect {args.dest}` for the merged summary")
+    return 0
+
+
+def _cmd_objstore(args: argparse.Namespace) -> int:
+    """Run the local S3-style object-store emulation server (blocking)."""
+    from repro.core.objstore import serve
+
+    serve(host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_propagation(args: argparse.Namespace) -> int:
     config = _make_config(args, max_experiments=None)
     campaign = Campaign(config)
@@ -369,9 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir",
         metavar="DIR",
         default=None,
-        help="stream results into a sharded gzip-JSONL store under DIR; a rerun "
-        "of the same configuration resumes from the completed shards "
-        "(memory stays bounded by one batch — use for paper-scale campaigns)",
+        help="stream results into a sharded gzip-JSONL store under DIR — a "
+        "directory or an objstore://host:port/bucket URL; a rerun of the "
+        "same configuration resumes from the completed shards (memory "
+        "stays bounded by one batch — use for paper-scale campaigns)",
     )
     campaign.add_argument(
         "--backend",
@@ -421,7 +463,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir",
         metavar="DIR",
         required=True,
-        help="the shared result-store directory the coordinator publishes into",
+        help="the shared result store the coordinator publishes into "
+        "(directory or objstore:// URL)",
     )
     worker.add_argument(
         "--worker-id",
@@ -522,7 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize an existing sharded result store"
     )
     inspect.add_argument(
-        "results_dir", metavar="RESULTS_DIR", help="a --results-dir store directory"
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="a --results-dir store (directory or objstore:// URL)",
     )
     inspect.add_argument(
         "--json",
@@ -532,6 +577,50 @@ def build_parser() -> argparse.ArgumentParser:
         "CI diffs it between serial and parallel runs)",
     )
     inspect.set_defaults(func=_cmd_inspect)
+
+    federate = subparsers.add_parser(
+        "federate",
+        help="merge several result stores of one campaign (same fingerprint) "
+        "into a single store whose digest matches a serial run",
+    )
+    federate.add_argument(
+        "dest",
+        metavar="DEST",
+        help="destination store (directory or objstore:// URL; created if absent)",
+    )
+    federate.add_argument(
+        "sources",
+        metavar="SOURCE",
+        nargs="+",
+        help="source stores; on overlapping plan indexes the later source wins",
+    )
+    federate.add_argument(
+        "--shard-records",
+        type=_positive_int,
+        default=512,
+        metavar="K",
+        help="records per merged shard (default: 512)",
+    )
+    federate.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines on stderr"
+    )
+    federate.set_defaults(func=_cmd_federate)
+
+    objstore = subparsers.add_parser(
+        "objstore",
+        help="run the local S3-style object-store emulation server "
+        "(use objstore://HOST:PORT/bucket as a --results-dir)",
+    )
+    objstore.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    objstore.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8383,
+        help="bind port, 0 = pick a free one (default: 8383)",
+    )
+    objstore.set_defaults(func=_cmd_objstore)
     return parser
 
 
@@ -542,7 +631,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.max_experiments = None
     try:
         return args.func(args)
-    except (ResultStoreMismatchError, DistributedTimeoutError) as error:
+    except (ResultStoreMismatchError, DistributedTimeoutError, TransportError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

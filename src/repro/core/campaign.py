@@ -440,7 +440,9 @@ class Campaign:
         ``progress`` is called as ``progress(done, total)`` whenever a batch
         of experiments completes.  Two persistence layouts are supported:
 
-        * ``results_dir`` — the streaming sharded result store.  Workers
+        * ``results_dir`` — the streaming sharded result store, rooted at a
+          directory path or an ``objstore://host:port/bucket`` URL (the
+          store picks its shard transport from the root's shape).  Workers
           serialize every finished batch to a compressed shard, the returned
           :class:`CampaignResult` holds a lazy plan-order view, and a rerun
           of the same configuration resumes by scanning the completed shards
@@ -456,9 +458,10 @@ class Campaign:
           :class:`~repro.core.parallel.CampaignExecutor` (the default).
         * ``backend="distributed"`` — this process becomes the
           *coordinator*: it prepares the baselines, publishes the frozen
-          plan into ``results_dir`` (which is required and must be a
-          directory shared with the workers), and watches/folds worker
-          shards until the campaign completes.  Experiments execute in
+          plan into ``results_dir`` (which is required and must be a store
+          the workers can reach — a shared directory or an object-store
+          URL), and watches/folds worker shards until the campaign
+          completes.  Experiments execute in
           separate ``python -m repro.cli worker --results-dir ...``
           processes on any number of hosts; ``distributed`` tunes slice
           size, poll interval, and the overall deadline.  The merged result

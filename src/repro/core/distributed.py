@@ -16,19 +16,21 @@ Protocol, in full:
   and a hard error when they don't (a mis-pointed directory).
 * **Workers** (``python -m repro.cli worker --results-dir ...``) wait for the
   plan, then repeatedly claim one slice of contiguous plan indexes via an
-  atomic lease file (``leases/slice-<id>.lease``, ``O_EXCL`` create).  A
-  claimed slice is executed through the same
+  atomic lease object (``leases/slice-<id>.lease``, created with the
+  transport's put-if-absent — an ``O_EXCL`` file on POSIX, a conditional PUT
+  on an object store).  A claimed slice is executed through the same
   :meth:`~repro.core.parallel.CampaignExecutor.execute_slice` core the local
   pool backend uses — slice → batches → shards — and a heartbeat thread
-  refreshes the lease's mtime while batches run.
+  refreshes the lease's mtime/generation while batches run.
 * A lease whose mtime is older than its **TTL** is expired: any worker may
-  reclaim it (remove + ``O_EXCL`` re-create).  A crashed or SIGKILLed worker
-  therefore loses its *slice* but never its completed *shards*; the new
-  owner re-runs only the indexes the store doesn't already hold.  Pick a TTL
-  comfortably above the duration of one batch — an owner that loses its
-  lease mid-batch aborts the slice at the next batch boundary (results are
-  deterministic, so even the pathological double-execution of one in-flight
-  batch rewrites byte-identical records and cannot corrupt the digest).
+  reclaim it (conditional delete of the exact generation it judged expired,
+  then a new put-if-absent).  A crashed or SIGKILLed worker therefore loses
+  its *slice* but never its completed *shards*; the new owner re-runs only
+  the indexes the store doesn't already hold.  Pick a TTL comfortably above
+  the duration of one batch — an owner that loses its lease mid-batch aborts
+  the slice at the next batch boundary (results are deterministic, so even
+  the pathological double-execution of one in-flight batch rewrites
+  byte-identical records and cannot corrupt the digest).
 * A finished slice is recorded as ``leases/slice-<id>.done`` (worker
   provenance for ``repro.cli inspect``) and its lease is released.  The
   ground truth of completion is always the store itself: the coordinator
@@ -60,9 +62,8 @@ from repro.core.resultstore import (
     ResultStoreMismatchError,
     ShardedResultStore,
     StoredResults,
-    atomic_write_bytes,
-    fsync_directory,
 )
+from repro.core.transport import TransportError, TransportKeyError, transport_for
 
 #: Format version of the published plan (bumped on layout changes).
 PLAN_VERSION = 1
@@ -146,25 +147,26 @@ class DistributedPlan:
 
 
 def plan_path(root: str) -> str:
-    return os.path.join(root, _PLAN_NAME)
+    return transport_for(root).locate(_PLAN_NAME)
 
 
-def load_plan(root: str) -> Optional[DistributedPlan]:
+def load_plan(root: str, transport=None) -> Optional[DistributedPlan]:
     """The published plan, or ``None`` when no coordinator has published yet.
 
-    An unreadable plan file is an error, not "no plan": the write is atomic,
-    so a corrupt file means the directory is not (or no longer) a campaign
-    store and executing against it would waste every worker's time.
+    An unreadable plan is an error, not "no plan": the write is atomic, so a
+    corrupt object means the root is not (or no longer) a campaign store and
+    executing against it would waste every worker's time.  Pollers pass
+    their own ``transport`` so each probe reuses one connection instead of
+    building (and abandoning) a transport per poll.
     """
     try:
-        with open(plan_path(root), "rb") as handle:
-            payload = pickle.load(handle)
-    except FileNotFoundError:
+        payload = pickle.loads((transport or transport_for(root)).get(_PLAN_NAME))
+    except TransportKeyError:
         return None
     except Exception as error:  # noqa: BLE001 - corrupt plan = unusable store
         raise DistributedPlanError(
             f"result store {root!r} holds an unreadable campaign plan ({error}); "
-            "delete the directory (or point --results-dir elsewhere) to start fresh"
+            "delete the store (or point --results-dir elsewhere) to start fresh"
         ) from error
     if not isinstance(payload, dict) or payload.get("version") != PLAN_VERSION:
         raise DistributedPlanError(
@@ -206,8 +208,7 @@ def publish_plan(root: str, plan: DistributedPlan) -> bool:
     }
     buffer = io.BytesIO()
     pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-    os.makedirs(os.path.join(root, _LEASE_DIR), exist_ok=True)
-    atomic_write_bytes(plan_path(root), buffer.getvalue())
+    transport_for(root).put(_PLAN_NAME, buffer.getvalue())
     return True
 
 
@@ -216,8 +217,9 @@ def wait_for_plan(
 ) -> DistributedPlan:
     """Block until a coordinator publishes the plan (workers start first)."""
     deadline = None if timeout is None else time.monotonic() + timeout
+    transport = transport_for(root)
     while True:
-        plan = load_plan(root)
+        plan = load_plan(root, transport=transport)
         if plan is not None:
             manifest_fp = _manifest_fingerprint(root)
             if manifest_fp is not None and manifest_fp != plan.fingerprint:
@@ -237,7 +239,7 @@ def wait_for_plan(
 def _manifest_fingerprint(root: str) -> Optional[str]:
     try:
         return ShardedResultStore(root).manifest().get("fingerprint")
-    except (OSError, ValueError):
+    except (TransportKeyError, OSError, ValueError):
         return None
 
 
@@ -261,56 +263,91 @@ class LeaseInfo:
 
 
 class SliceLeases:
-    """Atomic lease files handing plan slices to workers.
+    """Atomic lease objects handing plan slices to workers.
 
-    One file per leased slice under ``<root>/leases/``: claiming is an
-    ``O_EXCL`` create (exactly one winner per name), liveness is the file's
-    mtime (the owner's heartbeat refreshes it), and expiry is mtime age
-    beyond the TTL *recorded in the lease by its owner* — so workers with
-    different ``--lease-ttl`` settings interoperate.  A finished slice turns
-    into a ``.done`` marker carrying worker provenance.
+    One object per leased slice under ``<root>/leases/``: claiming is the
+    transport's put-if-absent (exactly one winner per key — ``O_EXCL`` on
+    POSIX, conditional PUT on an object store), liveness is the object's
+    mtime (the owner's heartbeat refreshes it under a generation
+    precondition), and expiry is mtime age beyond the TTL *recorded in the
+    lease by its owner* — so workers with different ``--lease-ttl`` settings
+    interoperate.  A finished slice turns into a ``.done`` marker carrying
+    worker provenance.
     """
 
     def __init__(self, root: str, ttl: float = DEFAULT_LEASE_TTL):
         self.root = root
-        self.lease_dir = os.path.join(root, _LEASE_DIR)
+        self.transport = transport_for(root)
+        self.lease_dir = self.transport.locate(_LEASE_DIR)
         self.ttl = ttl
 
+    def _lease_key(self, slice_id: int) -> str:
+        return f"{_LEASE_DIR}/slice-{slice_id:05d}.lease"
+
+    def _done_key(self, slice_id: int) -> str:
+        return f"{_LEASE_DIR}/slice-{slice_id:05d}.done"
+
     def _lease_path(self, slice_id: int) -> str:
-        return os.path.join(self.lease_dir, f"slice-{slice_id:05d}.lease")
+        return self.transport.locate(self._lease_key(slice_id))
 
     def _done_path(self, slice_id: int) -> str:
-        return os.path.join(self.lease_dir, f"slice-{slice_id:05d}.done")
+        return self.transport.locate(self._done_key(slice_id))
+
+    def _read_lease(self, slice_id: int) -> Optional[tuple[LeaseInfo, str]]:
+        """The outstanding lease plus its generation token, or ``None``.
+
+        A lease object that exists but holds no readable payload — a claimer
+        died between creating the key and writing it (only possible on
+        POSIX, where the two aren't one atomic operation) — still counts as
+        a lease, judged against *our* TTL: treating it as absent would leave
+        the slice permanently unclaimable (put-if-absent can never succeed
+        against an existing key).
+        """
+        key = self._lease_key(slice_id)
+        stat = self.transport.stat(key)
+        if stat is None:
+            return None
+        worker = "?"
+        ttl = self.ttl
+        try:
+            data = json.loads(self.transport.get(key))
+            worker = str(data.get("worker", "?"))
+            ttl = float(data.get("ttl", self.ttl))
+        except (TransportKeyError, TransportError, OSError, ValueError, TypeError):
+            pass  # unreadable payload: age decides, under the reader's TTL
+        info = LeaseInfo(
+            slice_id=slice_id,
+            worker=worker,
+            age=max(0.0, time.time() - stat.mtime),
+            ttl=ttl,
+        )
+        return info, stat.generation
 
     # ------------------------------------------------------------- claiming
 
     def try_claim(self, slice_id: int, worker: str) -> bool:
         """Claim a slice: ``True`` and the caller owns it, or ``False``.
 
-        An expired lease is reclaimed first — but only the exact file that
-        was judged expired (mtime re-verified immediately before the
-        unlink), so a racing worker's *fresh* lease is never removed.  The
-        microsecond window that remains between the re-check and the unlink
-        is covered by the heartbeat ownership check: an owner whose lease
-        file vanishes or changes hands aborts its slice at the next batch
-        boundary, and determinism makes even that overlap harmless.
+        An expired lease is reclaimed first — but only the exact generation
+        that was judged expired (conditional delete), so a racing worker's
+        *fresh* lease is never removed.  The microsecond stat-to-unlink
+        window POSIX keeps is covered by the heartbeat ownership check: an
+        owner whose lease vanishes or changes hands aborts its slice at the
+        next batch boundary, and determinism makes even that overlap
+        harmless.  On an object store the conditional delete is genuinely
+        atomic and the window closes entirely.
         """
         if self.is_done(slice_id):
             return False
-        os.makedirs(self.lease_dir, exist_ok=True)
-        path = self._lease_path(slice_id)
-        info = self.lease_info(slice_id)
-        if info is not None:
+        key = self._lease_key(slice_id)
+        existing = self._read_lease(slice_id)
+        if existing is not None:
+            info, generation = existing
             if not info.expired:
                 return False
-            try:
-                # Re-verify right before the unlink: a lease that was
-                # heartbeated or replaced since we judged it is fresh again.
-                if time.time() - os.stat(path).st_mtime <= info.ttl:
-                    return False
-                os.unlink(path)
-            except FileNotFoundError:
-                pass  # another reclaimer won; race for the O_EXCL create below
+            # A lease heartbeated or replaced since we judged it has a new
+            # generation and survives; we then lose the put-if-absent below.
+            self.transport.delete_if_unchanged(key, generation)
         payload = json.dumps(
             {
                 "worker": worker,
@@ -322,95 +359,63 @@ class SliceLeases:
             },
             sort_keys=True,
         ).encode("utf-8")
-        try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-        except FileExistsError:
-            return False
-        try:
-            os.write(fd, payload)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        fsync_directory(self.lease_dir)
-        return True
+        return self.transport.put_if_absent(key, payload)
 
     def heartbeat(self, slice_id: int, worker: str) -> bool:
-        """Refresh the lease mtime; ``False`` means the lease was lost."""
-        path = self._lease_path(slice_id)
+        """Refresh the lease's liveness; ``False`` means the lease was lost.
+
+        The refresh is conditional on the generation the ownership check
+        read: a lease reclaimed between the read and the refresh is left
+        untouched (the new owner's clock, not ours).
+        """
+        key = self._lease_key(slice_id)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
+            data, stat = self.transport.get_with_stat(key)
+            payload = json.loads(data)
+        except (TransportKeyError, TransportError, OSError, ValueError):
+            # A transient read failure (flaky shared filesystem, unreachable
+            # object store) reports the lease as lost rather than killing
+            # the heartbeat thread: the owner then aborts at the next batch
+            # boundary, which determinism makes merely wasted work.
             return False
-        if data.get("worker") != worker:
+        if payload.get("worker") != worker:
             return False
-        try:
-            os.utime(path)
-        except OSError:
-            return False
-        return True
+        return self.transport.refresh(key, stat.generation)
 
     def release(self, slice_id: int, worker: Optional[str] = None) -> None:
         """Drop the lease (idempotent).
 
         With ``worker`` given, the lease is removed only while that worker
         still owns it: a worker whose lease expired and was reclaimed must
-        not unlink the *new* owner's fresh lease on its way out — that would
+        not remove the *new* owner's fresh lease on its way out — that would
         hand the slice to a third claimant while the second still runs it.
         ``worker=None`` is the unconditional administrative form.
         """
-        path = self._lease_path(slice_id)
+        key = self._lease_key(slice_id)
         if worker is not None:
             try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    if json.load(handle).get("worker") != worker:
-                        return
-            except (OSError, ValueError):
+                data, stat = self.transport.get_with_stat(key)
+                if json.loads(data).get("worker") != worker:
+                    return
+            except (TransportKeyError, TransportError, OSError, ValueError):
                 return  # absent or unreadable: nothing of ours to release
-        try:
-            os.unlink(path)
-        except FileNotFoundError:
-            pass
+            self.transport.delete_if_unchanged(key, stat.generation)
+            return
+        self.transport.delete(key)
 
     # ------------------------------------------------------------ observing
 
     def lease_info(self, slice_id: int) -> Optional[LeaseInfo]:
-        """The outstanding lease on a slice, or ``None``.
-
-        A lease file that exists but is unreadable — a claimer died between
-        the ``O_EXCL`` create and the payload write — still counts as a
-        lease, judged against *our* TTL: treating it as absent would leave
-        the slice permanently unclaimable (``O_EXCL`` can never succeed
-        against an existing file).
-        """
-        path = self._lease_path(slice_id)
-        try:
-            stat = os.stat(path)
-        except OSError:
-            return None
-        worker = "?"
-        ttl = self.ttl
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            worker = str(data.get("worker", "?"))
-            ttl = float(data.get("ttl", self.ttl))
-        except (OSError, ValueError, TypeError):
-            pass  # unreadable payload: age decides, under the reader's TTL
-        return LeaseInfo(
-            slice_id=slice_id,
-            worker=worker,
-            age=max(0.0, time.time() - stat.st_mtime),
-            ttl=ttl,
-        )
+        """The outstanding lease on a slice, or ``None``."""
+        existing = self._read_lease(slice_id)
+        return existing[0] if existing is not None else None
 
     def outstanding(self) -> list[LeaseInfo]:
-        """Every lease currently on disk, in slice order."""
-        if not os.path.isdir(self.lease_dir):
-            return []
+        """Every lease currently outstanding, in slice order."""
         infos = []
-        for name in sorted(os.listdir(self.lease_dir)):
-            if not (name.startswith("slice-") and name.endswith(".lease")):
+        for key in self.transport.list(f"{_LEASE_DIR}/slice-"):
+            name = key.rpartition("/")[2]
+            if not name.endswith(".lease"):
                 continue
             try:
                 slice_id = int(name[len("slice-") : -len(".lease")])
@@ -433,27 +438,24 @@ class SliceLeases:
             "executed": executed,
             "finished_at": time.time(),
         }
-        atomic_write_bytes(
-            self._done_path(slice_id),
+        self.transport.put(
+            self._done_key(slice_id),
             (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
         )
         self.release(slice_id, worker)
 
     def is_done(self, slice_id: int) -> bool:
-        return os.path.exists(self._done_path(slice_id))
+        return self.transport.stat(self._done_key(slice_id)) is not None
 
     def done_records(self) -> list[dict]:
         """Every completion marker, in slice order (inspect provenance)."""
-        if not os.path.isdir(self.lease_dir):
-            return []
         records = []
-        for name in sorted(os.listdir(self.lease_dir)):
-            if not (name.startswith("slice-") and name.endswith(".done")):
+        for key in self.transport.list(f"{_LEASE_DIR}/slice-"):
+            if not key.endswith(".done"):
                 continue
             try:
-                with open(os.path.join(self.lease_dir, name), "r", encoding="utf-8") as handle:
-                    records.append(json.load(handle))
-            except (OSError, ValueError):
+                records.append(json.loads(self.transport.get(key)))
+            except (TransportKeyError, TransportError, OSError, ValueError):
                 continue
         return records
 

@@ -1,0 +1,168 @@
+"""Results-dir federation: merge N stores of one campaign into one store.
+
+Paper-scale campaigns (~8,800 experiments, §IV-C) don't always run in one
+place: two halves may execute in different clusters, an interrupted local
+run may be finished elsewhere, a POSIX store and an object-store run may
+cover different slices of the same plan.  Shards are the atomic,
+deterministic, self-describing interchange format of a campaign, so merging
+stores is a pure store-level operation — no experiment re-runs, no
+re-classification — and the merged digest is **byte-identical to a single
+serial run** of the same configuration, because the digest hashes canonical
+records in plan-index order and never sees shard boundaries.
+
+Safety mirrors :meth:`ShardedResultStore.open` exactly: every source (and a
+pre-existing destination) must carry the same campaign fingerprint, or the
+merge is rejected before anything is written — federating two *different*
+campaigns would silently interleave unrelated results.  Overlapping indexes
+are deduplicated with a deterministic rule: the **later source wins** (last
+on the command line).  Results are deterministic, so overlapping records are
+byte-identical in a healthy pair of stores and the rule is only visible when
+a store was hand-edited — but an arbitrary tie-break would make the merge
+order-dependent in exactly the case where it matters most.
+
+Transports compose for free: every root (sources and destination) picks its
+own transport by shape, so a POSIX half-campaign and an object-store
+half-campaign federate into either kind of destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.resultstore import (
+    STORE_VERSION,
+    ResultStoreMismatchError,
+    ShardedResultStore,
+)
+from repro.core.transport import TransportKeyError
+
+#: Records per federated shard: large enough that shard count stays low,
+#: small enough that the merge holds one batch in memory like every other
+#: store writer.
+DEFAULT_SHARD_RECORDS = 512
+
+_PREP_NAME = "prep.pkl"
+
+
+@dataclass(frozen=True)
+class FederationReport:
+    """What one federation merge did (the CLI prints this)."""
+
+    fingerprint: str
+    total: int  # plan size the manifests agree on
+    sources: tuple[str, ...]
+    merged_records: int  # records written into the destination by this merge
+    skipped_records: int  # indexes the destination already held
+    overlapping_records: int  # indexes present in more than one source
+    shards_written: int
+
+    def describe(self) -> str:
+        lines = [
+            "Federation merge",
+            f"fingerprint        : {self.fingerprint[:16]}…",
+            f"sources            : {len(self.sources)}",
+            f"merged records     : {self.merged_records}"
+            f" (+{self.skipped_records} already in the destination)",
+            f"overlapping indexes: {self.overlapping_records} (later source wins)",
+            f"shards written     : {self.shards_written}",
+        ]
+        return "\n".join(lines)
+
+
+def _manifest_of(root: str, store: ShardedResultStore) -> dict:
+    try:
+        manifest = store.manifest()
+    except TransportKeyError:
+        raise ResultStoreMismatchError(
+            f"{root!r} is not a result store (no MANIFEST.json); every federate "
+            "source must be a --results-dir store"
+        ) from None
+    except ValueError as error:
+        raise ResultStoreMismatchError(
+            f"result store {root!r} has an unreadable manifest ({error})"
+        ) from error
+    if manifest.get("version") != STORE_VERSION:
+        raise ResultStoreMismatchError(
+            f"result store {root!r} uses store version {manifest.get('version')!r}; "
+            f"this code reads version {STORE_VERSION}"
+        )
+    return manifest
+
+
+def federate_stores(
+    dest_root: str,
+    source_roots: list[str],
+    shard_records: int = DEFAULT_SHARD_RECORDS,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FederationReport:
+    """Merge every source store into ``dest_root``; returns a report.
+
+    The destination may be empty, may be one of the sources' siblings from
+    an earlier partial merge (indexes it already holds are skipped, so
+    re-running a federation is a no-op), or may not exist yet.  A
+    destination or source written by a *different* campaign is rejected the
+    way :meth:`ShardedResultStore.open` rejects a mis-pointed
+    ``--results-dir`` — before anything is written.
+    """
+    if not source_roots:
+        raise ValueError("federate needs at least one source store")
+    sources = [ShardedResultStore(root) for root in source_roots]
+    manifests = [_manifest_of(root, store) for root, store in zip(source_roots, sources)]
+    fingerprint = manifests[0].get("fingerprint")
+    total = manifests[0].get("total")
+    for root, manifest in zip(source_roots[1:], manifests[1:]):
+        if manifest.get("fingerprint") != fingerprint:
+            raise ResultStoreMismatchError(
+                f"result store {root!r} was written by a different campaign than "
+                f"{source_roots[0]!r}; federating them would mix unrelated results"
+            )
+
+    dest = ShardedResultStore(dest_root)
+    dest.open(fingerprint, total)  # raises on a foreign destination
+
+    # Later source wins every overlapping index (deterministic dedup).
+    winners: dict[int, ShardedResultStore] = {}
+    overlapping = 0
+    for store in sources:
+        for index in store.completed_indexes():
+            if index in winners:
+                overlapping += 1
+            winners[index] = store
+
+    already = set(dest.completed_indexes())
+    pending = sorted(index for index in winners if index not in already)
+
+    # Carry the workload prep over (byte copy; load_prep re-validates its own
+    # fingerprint on use) so a federated store resumes without re-preparing.
+    if dest.transport.stat(_PREP_NAME) is None:
+        for store in reversed(sources):  # later sources win here too
+            try:
+                dest.transport.put(_PREP_NAME, store.transport.get(_PREP_NAME))
+                break
+            except TransportKeyError:
+                continue
+
+    shards_written = 0
+    batch: list[tuple[int, dict]] = []
+    for position, index in enumerate(pending):
+        batch.append((index, winners[index].load_record(index)))
+        if len(batch) >= shard_records:
+            dest.write_shard_dicts(batch)
+            shards_written += 1
+            batch = []
+        if progress is not None:
+            progress(position + 1, len(pending))
+    if batch:
+        dest.write_shard_dicts(batch)
+        shards_written += 1
+
+    return FederationReport(
+        fingerprint=fingerprint,
+        total=total if isinstance(total, int) else len(winners),
+        sources=tuple(source_roots),
+        merged_records=len(pending),
+        skipped_records=len(already & set(winners)),
+        overlapping_records=overlapping,
+        shards_written=shards_written,
+    )

@@ -1,0 +1,266 @@
+"""Local S3-style object-store emulation server.
+
+The :class:`~repro.core.transport.ObjectStoreTransport` speaks a small,
+standard subset of HTTP object-store semantics — unconditional and
+conditional PUT (``If-None-Match: *`` / ``If-Match``), GET/HEAD, prefix
+listing, conditional DELETE, and a mtime-refresh POST standing in for the
+"re-PUT under a generation precondition" lease heartbeat.  This module is
+the reference server for that protocol: an in-memory, thread-safe store that
+tests and the CI ``objectstore-smoke`` job run locally so the whole
+distributed campaign protocol (plan publish, lease claim/reclaim, shard
+streaming, federation) is exercised end to end with no external service and
+no new dependency.
+
+Run standalone (the CI job does)::
+
+    python -m repro.cli objstore --port 8383
+    # workers/coordinator then use --results-dir objstore://127.0.0.1:8383/run1
+
+or in-process for tests::
+
+    server = LocalObjectStore(("127.0.0.1", 0))
+    server.start()
+    root = f"{server.url}/my-store"
+    ...
+    server.stop()
+
+Wire protocol (all object keys URL-quoted under ``/k/``):
+
+========================  =====================================================
+``PUT /k/<key>``          write; ``If-None-Match: *`` -> 412 if the key exists;
+                          ``If-Match: <etag>`` -> 412 unless it matches
+``GET /k/<key>``          200 body + ``ETag``/``X-Object-Mtime`` or 404
+``HEAD /k/<key>``         like GET without the body (adds ``X-Object-Size``)
+``DELETE /k/<key>``       204 (idempotent); with ``If-Match`` -> 404/412 when
+                          absent/changed
+``POST /k/<key>?op=refresh``  bump mtime+ETag iff ``If-Match`` matches
+``GET /list?prefix=<p>``  JSON ``{"keys": [...]}`` of keys under the prefix
+``GET /healthz``          readiness probe for CI wait loops
+========================  =====================================================
+
+Every mutation assigns a fresh server-side **ETag** (the generation token of
+the transport layer) and mtime, under one lock — conditional operations are
+genuinely atomic here, unlike their best-effort POSIX counterparts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+
+@dataclass
+class StoredObject:
+    """One object: payload plus the metadata conditional requests key on."""
+
+    data: bytes
+    etag: str
+    mtime: float
+
+
+class LocalObjectStore(ThreadingHTTPServer):
+    """In-memory object store speaking the transport's HTTP subset."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int] = ("127.0.0.1", 0)):
+        super().__init__(address, _Handler)
+        self.objects: dict[str, StoredObject] = {}
+        self.lock = threading.Lock()
+        self._etag_counter = 0
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def url(self) -> str:
+        """The ``objstore://host:port`` base of this server."""
+        host, port = self.server_address[:2]
+        return f"objstore://{host}:{port}"
+
+    def start(self) -> "LocalObjectStore":
+        """Serve in a daemon thread (in-process use: tests, benchmarks)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.server_close()
+
+    # ----------------------------------------------------------- operations
+
+    def _next_etag(self) -> str:
+        self._etag_counter += 1
+        return f'"g{self._etag_counter}"'
+
+    def put(self, key: str, data: bytes, if_none_match: bool, if_match: Optional[str]):
+        with self.lock:
+            existing = self.objects.get(key)
+            if if_none_match and existing is not None:
+                return None
+            if if_match is not None and (existing is None or existing.etag != if_match):
+                return None
+            stored = StoredObject(data=data, etag=self._next_etag(), mtime=time.time())
+            self.objects[key] = stored
+            return stored
+
+    def get(self, key: str) -> Optional[StoredObject]:
+        with self.lock:
+            return self.objects.get(key)
+
+    def delete(self, key: str, if_match: Optional[str]) -> int:
+        """HTTP status of a delete: 204 done, 404 absent, 412 changed."""
+        with self.lock:
+            existing = self.objects.get(key)
+            if existing is None:
+                return 404 if if_match is not None else 204
+            if if_match is not None and existing.etag != if_match:
+                return 412
+            del self.objects[key]
+            return 204
+
+    def refresh(self, key: str, if_match: Optional[str]) -> Optional[StoredObject]:
+        with self.lock:
+            existing = self.objects.get(key)
+            if existing is None or (if_match is not None and existing.etag != if_match):
+                return None
+            existing.etag = self._next_etag()
+            existing.mtime = time.time()
+            return existing
+
+    def list_keys(self, prefix: str) -> list[str]:
+        with self.lock:
+            return sorted(key for key in self.objects if key.startswith(prefix))
+
+    def backdate(self, key: str, seconds: float) -> None:
+        """Age an object's mtime (tests exercising lease expiry; the POSIX
+        equivalent is ``os.utime`` with a past timestamp)."""
+        with self.lock:
+            self.objects[key].mtime -= seconds
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request plumbing; all state lives on the :class:`LocalObjectStore`."""
+
+    server: LocalObjectStore
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep worker/CI stderr clean; the store is test infrastructure
+
+    def _key(self) -> Optional[str]:
+        path = urllib.parse.urlsplit(self.path).path
+        if not path.startswith("/k/"):
+            return None
+        return urllib.parse.unquote(path[len("/k/") :])
+
+    def _query(self) -> dict:
+        return dict(urllib.parse.parse_qsl(urllib.parse.urlsplit(self.path).query))
+
+    def _send(self, status: int, body: bytes = b"", headers: Optional[dict] = None):
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @staticmethod
+    def _object_headers(stored: StoredObject) -> dict:
+        return {
+            "ETag": stored.etag,
+            "X-Object-Mtime": repr(stored.mtime),
+            "X-Object-Size": str(len(stored.data)),
+        }
+
+    # -------------------------------------------------------------- methods
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
+            self._send(200, b"ok")
+            return
+        if parsed.path == "/list":
+            prefix = self._query().get("prefix", "")
+            body = json.dumps({"keys": self.server.list_keys(prefix)}).encode("utf-8")
+            self._send(200, body, {"Content-Type": "application/json"})
+            return
+        key = self._key()
+        stored = self.server.get(key) if key is not None else None
+        if stored is None:
+            self._send(404)
+            return
+        self._send(200, stored.data, self._object_headers(stored))
+
+    def do_HEAD(self):  # noqa: N802
+        key = self._key()
+        stored = self.server.get(key) if key is not None else None
+        if stored is None:
+            self._send(404)
+            return
+        # _send writes Content-Length 0 for the empty body; the real size
+        # travels in X-Object-Size so HEAD responses need no body framing.
+        self._send(200, b"", self._object_headers(stored))
+
+    def do_PUT(self):  # noqa: N802
+        key = self._key()
+        if key is None:
+            self._send(404)
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        data = self.rfile.read(length) if length else b""
+        stored = self.server.put(
+            key,
+            data,
+            if_none_match=self.headers.get("If-None-Match") == "*",
+            if_match=self.headers.get("If-Match"),
+        )
+        if stored is None:
+            self._send(412)
+            return
+        self._send(200, b"", self._object_headers(stored))
+
+    def do_POST(self):  # noqa: N802
+        key = self._key()
+        if key is None or self._query().get("op") != "refresh":
+            self._send(404)
+            return
+        if self.server.get(key) is None:
+            self._send(404)
+            return
+        stored = self.server.refresh(key, self.headers.get("If-Match"))
+        if stored is None:
+            self._send(412)
+            return
+        self._send(200, b"", self._object_headers(stored))
+
+    def do_DELETE(self):  # noqa: N802
+        key = self._key()
+        if key is None:
+            self._send(404)
+            return
+        self._send(self.server.delete(key, self.headers.get("If-Match")))
+
+
+def serve(host: str = "127.0.0.1", port: int = 8383) -> LocalObjectStore:
+    """Blocking standalone server (the ``repro.cli objstore`` entry point)."""
+    server = LocalObjectStore((host, port))
+    print(f"object store listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return server

@@ -449,10 +449,12 @@ class CampaignExecutor:
         """Run every task and return the results in plan order.
 
         Without a ``results_dir`` this returns the familiar in-memory list.
-        With one, the workers stream every finished batch into the sharded
-        result store and a lazy :class:`StoredResults` view is returned
-        instead: peak parent memory is bounded by one batch regardless of
-        campaign size, and a rerun resumes by scanning the completed shards.
+        With one — a directory path or an ``objstore://`` URL; the store
+        picks its transport from the root's shape — the workers stream every
+        finished batch into the sharded result store and a lazy
+        :class:`StoredResults` view is returned instead: peak parent memory
+        is bounded by one batch regardless of campaign size, and a rerun
+        resumes by scanning the completed shards.
         """
         total = len(tasks)
         fingerprint = campaign_fingerprint(tasks, self.experiment_config, baselines)

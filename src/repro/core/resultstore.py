@@ -11,7 +11,11 @@ memory is therefore bounded by one batch regardless of campaign size, and
 resuming an interrupted campaign is a scan of the completed shards rather
 than a deserialization of everything done so far.
 
-Layout of a store directory::
+The store talks to its bytes through a pluggable
+:class:`~repro.core.transport.ShardTransport`, selected by the shape of the
+root string: a filesystem path (the original shared-directory layout, byte
+for byte) or an ``objstore://host:port/bucket`` URL for workers with no
+common filesystem.  Layout of a store, in transport keys::
 
     <root>/MANIFEST.json             # {"version", "fingerprint", "total"}
     <root>/prep.pkl                  # golden baselines + field recordings
@@ -29,7 +33,6 @@ import gzip
 import hashlib
 import io
 import json
-import os
 import pickle
 from dataclasses import fields as dataclass_fields
 from typing import Any, Iterable, Iterator, Optional
@@ -42,6 +45,11 @@ from repro.core.classification import (
 )
 from repro.core.experiment import ExperimentResult
 from repro.core.injector import FaultSpec, FaultType, InjectionChannel
+from repro.core.transport import TransportKeyError, transport_for
+
+# Re-exported: this module was the historical home of the POSIX atomic-write
+# primitives, and the checkpoint writer and tests still import them here.
+from repro.core.transport import atomic_write_bytes, fsync_directory  # noqa: F401
 from repro.workloads.workload import WorkloadKind
 
 #: Format version of the store layout (bumped on layout changes).
@@ -184,25 +192,31 @@ class ShardedResultStore:
 
     def __init__(self, root: str):
         self.root = root
-        self.shard_dir = os.path.join(root, _SHARD_DIR)
-        #: Lazily built map of completed plan index -> shard path.
+        self.transport = transport_for(root)
+        #: Lazily built map of completed plan index -> shard key.
         self._index_map: Optional[dict[int, str]] = None
-        #: One-shard read cache: (path, {index: result dict}).
-        self._cached_path: Optional[str] = None
+        #: One-shard read cache: (key, {index: result dict}).
+        self._cached_key: Optional[str] = None
         self._cached_shard: dict[int, dict] = {}
-        #: Per-shard parse cache: path -> (file size, record indexes).
+        #: Per-shard parse cache: key -> (generation token, record indexes).
         #: Shards are immutable once atomically renamed into place, so a
         #: repeat scan (the distributed coordinator/workers poll the store
-        #: every few hundred milliseconds) only decompresses paths it has
-        #: never seen — not the whole store again.  The size key catches the
-        #: one way a path can change content: a same-named shard rewritten
-        #: after a truncated predecessor lost every record.
-        self._shard_record_cache: dict[str, tuple[int, list[int]]] = {}
+        #: every few hundred milliseconds) only decompresses keys it has
+        #: never seen — not the whole store again.  The generation token
+        #: (size + mtime + identity, not size alone) catches every way a
+        #: same-named shard can change content, including a truncated shard
+        #: whose readable prefix parsed being atomically replaced by an
+        #: equal-size rewrite.
+        self._shard_record_cache: dict[str, tuple[str, list[int]]] = {}
 
     # ------------------------------------------------------------- manifest
 
     def _manifest_path(self) -> str:
-        return os.path.join(self.root, _MANIFEST_NAME)
+        return self.transport.locate(_MANIFEST_NAME)
+
+    def has_manifest(self) -> bool:
+        """Whether this root holds a result store at all (for the CLI)."""
+        return self.transport.stat(_MANIFEST_NAME) is not None
 
     def open(self, fingerprint: str, total: int) -> None:
         """Create the store (or verify it belongs to this campaign).
@@ -210,15 +224,17 @@ class ShardedResultStore:
         A store written by a different plan/configuration is rejected instead
         of being silently mixed in, exactly like the pickle checkpoints.
         """
-        manifest_path = self._manifest_path()
-        if os.path.exists(manifest_path):
+        try:
+            raw = self.transport.get(_MANIFEST_NAME)
+        except TransportKeyError:
+            raw = None
+        if raw is not None:
             try:
-                with open(manifest_path, "r", encoding="utf-8") as handle:
-                    manifest = json.load(handle)
-            except (OSError, ValueError) as error:
+                manifest = json.loads(raw)
+            except ValueError as error:
                 raise ResultStoreMismatchError(
                     f"result store {self.root!r} has an unreadable manifest ({error}); "
-                    "delete the directory (or point --results-dir elsewhere) to start fresh"
+                    "delete the store (or point --results-dir elsewhere) to start fresh"
                 ) from error
             if (
                 manifest.get("version") != STORE_VERSION
@@ -226,26 +242,27 @@ class ShardedResultStore:
             ):
                 raise ResultStoreMismatchError(
                     f"result store {self.root!r} was written by a different campaign "
-                    "plan; delete the directory (or point --results-dir elsewhere) "
+                    "plan; delete the store (or point --results-dir elsewhere) "
                     "to start fresh"
                 )
             return
-        os.makedirs(self.shard_dir, exist_ok=True)
         payload = {"version": STORE_VERSION, "fingerprint": fingerprint, "total": total}
-        atomic_write_bytes(
-            manifest_path, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.transport.put(
+            _MANIFEST_NAME, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         )
 
     def manifest(self) -> dict:
-        """The manifest of an existing store (for `campaign inspect`)."""
-        with open(self._manifest_path(), "r", encoding="utf-8") as handle:
-            return json.load(handle)
+        """The manifest of an existing store (for `campaign inspect`).
+
+        Raises :class:`~repro.core.transport.TransportKeyError` when the root
+        holds no store at all.
+        """
+        return json.loads(self.transport.get(_MANIFEST_NAME))
 
     # ----------------------------------------------------------------- prep
 
     def save_prep(self, fingerprint: str, prepared: list) -> None:
         """Persist the golden baselines + field recordings (pickle, atomic)."""
-        os.makedirs(self.root, exist_ok=True)
         payload = {
             "version": STORE_VERSION,
             "fingerprint": fingerprint,
@@ -253,7 +270,7 @@ class ShardedResultStore:
         }
         buffer = io.BytesIO()
         pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-        atomic_write_bytes(os.path.join(self.root, _PREP_NAME), buffer.getvalue())
+        self.transport.put(_PREP_NAME, buffer.getvalue())
 
     def load_prep(self, fingerprint: str) -> Optional[list]:
         """Load the prepared baselines/recordings (None = recompute).
@@ -262,14 +279,12 @@ class ShardedResultStore:
         its results could never be merged either, and failing before the
         expensive golden-baseline recomputation beats failing after it.
         """
-        path = os.path.join(self.root, _PREP_NAME)
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+            payload = pickle.loads(self.transport.get(_PREP_NAME))
             if payload.get("version") != STORE_VERSION:
                 return None
             stored = payload.get("fingerprint")
-        except FileNotFoundError:
+        except TransportKeyError:
             return None
         except Exception:  # noqa: BLE001 - unreadable prep just means "recompute"
             return None
@@ -291,44 +306,59 @@ class ShardedResultStore:
         stream is written with ``mtime=0`` so identical results produce
         byte-identical shards.
         """
+        return self.write_shard_dicts(
+            [(index, result_to_dict(result)) for index, result in records]
+        )
+
+    def write_shard_dicts(self, records: list[tuple[int, dict]]) -> str:
+        """:meth:`write_shard` for records already in their canonical dict
+        form — the federation merge streams raw records between stores
+        without round-tripping them through result objects."""
         if not records:
             raise ValueError("refusing to write an empty shard")
         indexes = [index for index, _ in records]
         name = f"shard-{min(indexes):08d}-{max(indexes):08d}.jsonl.gz"
-        path = os.path.join(self.shard_dir, name)
-        os.makedirs(self.shard_dir, exist_ok=True)
+        key = f"{_SHARD_DIR}/{name}"
         buffer = io.BytesIO()
         with gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0) as stream:
-            for index, result in records:
-                line = _canonical_line(index, result_to_dict(result))
+            for index, data in records:
+                line = _canonical_line(index, data)
                 stream.write(line.encode("utf-8") + b"\n")
-        atomic_write_bytes(path, buffer.getvalue())
+        self.transport.put(key, buffer.getvalue())
         self._index_map = None  # the completed set changed
-        return path
+        return self.transport.locate(key)
 
     # ------------------------------------------------------------- scanning
 
-    def shard_paths(self) -> list[str]:
-        """All shard files, in name (== first-index) order."""
-        if not os.path.isdir(self.shard_dir):
-            return []
-        names = sorted(
-            name
-            for name in os.listdir(self.shard_dir)
-            if name.startswith("shard-") and name.endswith(".jsonl.gz")
-        )
-        return [os.path.join(self.shard_dir, name) for name in names]
+    def shard_keys(self) -> list[str]:
+        """All shard keys, in name (== first-index) order."""
+        return [
+            key
+            for key in self.transport.list(f"{_SHARD_DIR}/")
+            if key.rpartition("/")[2].startswith("shard-") and key.endswith(".jsonl.gz")
+        ]
 
-    @staticmethod
-    def _iter_shard_records(path: str) -> Iterator[tuple[int, dict]]:
+    def shard_paths(self) -> list[str]:
+        """All shard addresses (paths/URLs), in name (== first-index) order."""
+        return [self.transport.locate(key) for key in self.shard_keys()]
+
+    def _iter_shard_records(self, key: str) -> Iterator[tuple[int, dict]]:
         """Yield the complete ``(index, result dict)`` records of one shard.
 
         A shard truncated mid-write yields its readable prefix: the gzip
-        stream may end abruptly (EOFError) or the last line may be cut short
-        (json error); both simply end the shard.
+        stream may end abruptly (EOFError), the last line may be cut short
+        (json error), or a record may have been cut between its ``"index"``
+        and its ``"result"``; each simply ends the shard.
         """
         try:
-            with gzip.open(path, "rb") as stream:
+            payload = self.transport.get(key)
+        except (TransportKeyError, OSError):
+            # Absent (raced a reclaim) or transiently unreadable (networked
+            # shared filesystem hiccup): skipped now, rescanned next poll —
+            # the historical tolerance of the gzip.open path.
+            return
+        try:
+            with gzip.GzipFile(fileobj=io.BytesIO(payload), mode="rb") as stream:
                 for raw in stream:
                     if not raw.endswith(b"\n"):
                         return  # incomplete trailing record
@@ -338,12 +368,19 @@ class ShardedResultStore:
                         return
                     if not isinstance(record, dict) or "index" not in record:
                         return
-                    yield int(record["index"]), record.get("result", {})
+                    result = record.get("result")
+                    if not isinstance(result, dict) or not result:
+                        # A record that kept its index but lost its result is
+                        # as truncated as a cut line; yielding a placeholder
+                        # here used to explode much later, as a KeyError deep
+                        # inside result_from_dict during aggregation.
+                        return
+                    yield int(record["index"]), result
         except (EOFError, OSError, gzip.BadGzipFile):
             return
 
     def refresh(self) -> None:
-        """Drop the cached index map (new shards may have appeared on disk).
+        """Drop the cached index map (new shards may have appeared).
 
         Workers write shards through their own store instances, so a parent
         that scanned before execution must refresh before reading.  The
@@ -351,34 +388,33 @@ class ShardedResultStore:
         so a refresh only costs parsing whatever is genuinely new.
         """
         self._index_map = None
-        self._cached_path = None
+        self._cached_key = None
         self._cached_shard = {}
 
-    def _shard_indexes(self, path: str) -> list[int]:
+    def _shard_indexes(self, key: str) -> list[int]:
         """The record indexes of one shard (cached; shards are immutable)."""
-        try:
-            size = os.path.getsize(path)
-        except OSError:
+        stat = self.transport.stat(key)
+        if stat is None:
             return []
-        cached = self._shard_record_cache.get(path)
-        if cached is not None and cached[0] == size:
+        cached = self._shard_record_cache.get(key)
+        if cached is not None and cached[0] == stat.generation:
             return cached[1]
         indexes: list[int] = []
         records: dict[int, dict] = {}
-        for index, data in self._iter_shard_records(path):
+        for index, data in self._iter_shard_records(key):
             indexes.append(index)
             records[index] = data
-        self._shard_record_cache[path] = (size, indexes)
+        self._shard_record_cache[key] = (stat.generation, indexes)
         # Hand the decompressed records to the one-shard read cache: the
         # common next step (the coordinator folding the indexes this scan
         # just discovered) then reads them without gunzipping the shard a
         # second time.  Memory stays bounded by one shard as before.
-        self._cached_path = path
+        self._cached_key = key
         self._cached_shard = records
         return indexes
 
     def completed_indexes(self) -> dict[int, str]:
-        """Map every completed plan index onto the shard that holds it.
+        """Map every completed plan index onto the shard key that holds it.
 
         This is the whole resume scan: O(completed shards) on first use and
         O(*new* shards) after a :meth:`refresh`, no result object is
@@ -386,26 +422,31 @@ class ShardedResultStore:
         """
         if self._index_map is None:
             index_map: dict[int, str] = {}
-            for path in self.shard_paths():
-                for index in self._shard_indexes(path):
-                    index_map[index] = path
+            for key in self.shard_keys():
+                for index in self._shard_indexes(key):
+                    index_map[index] = key
             self._index_map = index_map
         return self._index_map
 
     # -------------------------------------------------------------- reading
 
-    def _load_shard(self, path: str) -> dict[int, dict]:
+    def _load_shard(self, key: str) -> dict[int, dict]:
         """Decompress one shard into an index->dict map (the unit of caching)."""
-        return {index: data for index, data in self._iter_shard_records(path)}
+        return {index: data for index, data in self._iter_shard_records(key)}
 
     def _shard_for(self, index: int) -> dict[int, dict]:
-        path = self.completed_indexes().get(index)
-        if path is None:
+        key = self.completed_indexes().get(index)
+        if key is None:
             raise KeyError(f"result index {index} is not in the store {self.root!r}")
-        if path != self._cached_path:
-            self._cached_shard = self._load_shard(path)
-            self._cached_path = path
+        if key != self._cached_key:
+            self._cached_shard = self._load_shard(key)
+            self._cached_key = key
         return self._cached_shard
+
+    def load_record(self, index: int) -> dict:
+        """One result's canonical dict form (no object reconstruction) —
+        what :meth:`results_digest` hashes and federation copies."""
+        return self._shard_for(index)[index]
 
     def load_result(self, index: int) -> ExperimentResult:
         """Load one result by plan index (caches the containing shard)."""
@@ -447,11 +488,16 @@ class ShardedResultStore:
         cache, so after a completed-index scan this costs one stat per
         shard, not a second decompression pass.
         """
-        return sum(len(self._shard_indexes(path)) for path in self.shard_paths())
+        return sum(len(self._shard_indexes(key)) for key in self.shard_keys())
 
     def compressed_bytes(self) -> int:
-        """Total size of the shard files on disk."""
-        return sum(os.path.getsize(path) for path in self.shard_paths())
+        """Total stored size of the shards."""
+        total = 0
+        for key in self.shard_keys():
+            stat = self.transport.stat(key)
+            if stat is not None:
+                total += stat.size
+        return total
 
     def results_digest(self) -> str:
         """SHA-256 over the canonical records in plan-index order.
@@ -507,42 +553,6 @@ class StoredResults:
         return all(mine == theirs for mine, theirs in zip(self, other))
 
 
-def fsync_directory(path: str) -> None:
-    """Flush a directory's entry table to disk (best-effort).
-
-    ``os.replace`` makes a rename *atomic* but not *durable*: on filesystems
-    that don't journal directory operations synchronously (and on networked
-    shared filesystems, which the distributed backend runs over), the new
-    entry can be lost on power failure unless the containing directory is
-    fsynced.  Directories can't be fsynced on some platforms; that degrades
-    to the old behaviour rather than failing the write.
-    """
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write-fsync-rename, then fsync the directory, so a completed write is
-    both atomic (readers never observe a half-written file) and durable on
-    non-ext4 shared filesystems.  Shared by the shard store, the checkpoint
-    writer, and the distributed lease/plan files.
-
-    The temporary name embeds the pid: distinct processes (coordinator and
-    workers on a shared directory) may write the same target path without
-    scribbling over each other's in-flight temp file.
-    """
-    tmp_path = f"{path}.{os.getpid()}.tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
-    fsync_directory(os.path.dirname(path) or ".")
+# atomic_write_bytes / fsync_directory moved to repro.core.transport (the
+# POSIX transport is their natural home); re-exported above so every
+# historical `from repro.core.resultstore import atomic_write_bytes` holds.

@@ -441,6 +441,111 @@ def test_sigkilled_worker_is_reclaimed_without_loss_or_replay(
     assert SliceLeases(root).outstanding() == []
 
 
+def test_objectstore_sigkilled_worker_recovery_matches_serial(
+    serial_reference, tmp_path
+):
+    """The transport acceptance bar: the full SIGKILL-reclamation scenario —
+    coordinator, a victim worker killed mid-slice, a rescue worker — run over
+    the object-store transport, with zero lost and zero replayed experiments
+    and a digest byte-identical to the serial (POSIX) run."""
+    from repro.core.objstore import LocalObjectStore
+    from repro.core.transport import transport_for
+
+    serial_root, serial_result = serial_reference
+    config = _tiny_config()
+    total = serial_result.total_experiments()
+    server = LocalObjectStore(("127.0.0.1", 0)).start()
+    root = f"{server.url}/dist"
+    victim = None
+
+    outcome: dict = {}
+
+    def coordinate() -> None:
+        try:
+            outcome["result"] = Campaign(config).run(
+                results_dir=root,
+                backend="distributed",
+                distributed=DistributedSettings(
+                    slice_size=3, poll_interval=0.05, timeout=600
+                ),
+            )
+        except BaseException as error:  # noqa: BLE001 - surfaced in the assert below
+            outcome["error"] = error
+
+    coordinator = threading.Thread(target=coordinate)
+    coordinator.start()
+    try:
+        transport = transport_for(root)
+        deadline = time.monotonic() + 300
+        while transport.stat("PLAN.pkl") is None:
+            assert "error" not in outcome, f"coordinator failed: {outcome.get('error')}"
+            assert time.monotonic() < deadline, "coordinator never published the plan"
+            time.sleep(0.05)
+
+        # The victim is a real subprocess reaching the store over HTTP; it
+        # writes one single-experiment shard, stalls holding its lease, and
+        # is SIGKILLed — exactly the POSIX scenario, minus any shared mount.
+        victim = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--results-dir",
+                root,
+                "--worker-id",
+                "victim",
+                "--chunk-size",
+                "1",
+                "--lease-ttl",
+                "2",
+                "--stall-after-batches",
+                "1",
+                "--wait-timeout",
+                "120",
+                "--quiet",
+            ],
+            env=_worker_env(),
+        )
+        try:
+            store = ShardedResultStore(root)
+            while not store.shard_keys():
+                assert victim.poll() is None, "victim worker exited prematurely"
+                assert time.monotonic() < deadline, "victim never wrote its first shard"
+                time.sleep(0.05)
+        finally:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+
+        survivors = len(ShardedResultStore(root).completed_indexes())
+        assert 0 < survivors < total
+
+        rescue = DistributedWorker(
+            root, worker_id="rescue", poll_interval=0.1, lease_ttl=30.0, wait_timeout=60
+        ).run()
+        coordinator.join()
+        assert "error" not in outcome, f"coordinator failed: {outcome.get('error')}"
+
+        store = ShardedResultStore(root)
+        # Zero lost, zero replayed, byte-identical to the POSIX serial run.
+        assert store.record_count() == total
+        assert store.stored_record_count() == total
+        assert store.results_digest() == ShardedResultStore(serial_root).results_digest()
+        assert rescue.experiments_run == total - survivors
+        assert (
+            outcome["result"].classification_counts()
+            == serial_result.classification_counts()
+        )
+        done = SliceLeases(root).done_records()
+        assert {record["worker"] for record in done} == {"rescue"}
+        assert SliceLeases(root).outstanding() == []
+    finally:
+        if victim is not None and victim.poll() is None:
+            victim.kill()
+        coordinator.join(timeout=60)
+        server.stop()
+
+
 def test_distributed_rerun_of_completed_store_is_a_noop_resume(
     serial_reference, tmp_path, monkeypatch
 ):

@@ -227,11 +227,11 @@ def test_refresh_only_parses_new_shards(tmp_path, monkeypatch):
     parses: list[str] = []
     original = ShardedResultStore._iter_shard_records
 
-    def counting(path):
-        parses.append(path)
-        return original(path)
+    def counting(self, key):
+        parses.append(key)
+        return original(self, key)
 
-    monkeypatch.setattr(ShardedResultStore, "_iter_shard_records", staticmethod(counting))
+    monkeypatch.setattr(ShardedResultStore, "_iter_shard_records", counting)
     assert set(store.completed_indexes()) == {0, 1}
     assert len(parses) == 1
     store.write_shard([(index, _full_result(index)) for index in range(2, 4)])
@@ -251,6 +251,58 @@ def test_refresh_only_parses_new_shards(tmp_path, monkeypatch):
     store.refresh()
     assert set(store.completed_indexes()) < {0, 1, 2, 3}
     assert len(parses) == 3
+
+
+def test_same_size_rewrite_invalidates_the_parse_cache(tmp_path):
+    # Regression: the parse cache used to be keyed on file *size* alone, so
+    # a same-named shard atomically replaced by equal-size different content
+    # (e.g. a truncated shard whose readable prefix parsed, then rewritten)
+    # was served stale.  The cache now keys on the full generation token
+    # (size + mtime + identity).
+    import os
+
+    store = ShardedResultStore(str(tmp_path / "store"))
+    store.open("fp", total=4)
+    path = store.write_shard([(index, _full_result(index)) for index in range(4)])
+    assert set(store.completed_indexes()) == {0, 1, 2, 3}
+
+    # Equal-size, different content: corrupt one byte mid-stream, shortening
+    # the readable prefix without changing the file size.
+    with open(path, "rb") as handle:
+        payload = bytearray(handle.read())
+    payload[len(payload) // 2] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+    store.refresh()
+    assert set(store.completed_indexes()) < {0, 1, 2, 3}  # not served stale
+
+
+def test_record_with_index_but_no_result_ends_the_readable_prefix(tmp_path):
+    # Regression: a shard line holding an "index" but no "result" used to
+    # yield an empty dict that exploded much later as a KeyError deep inside
+    # result_from_dict during aggregation; it is a truncation like any
+    # other — the shard ends at the last complete record before it.
+    import gzip
+    import io
+
+    store = ShardedResultStore(str(tmp_path / "store"))
+    store.open("fp", total=3)
+    good = json.dumps({"index": 0, "result": result_to_dict(_full_result(0))})
+    lost = json.dumps({"index": 1})  # the write died between the two fields
+    after = json.dumps({"index": 2, "result": result_to_dict(_full_result(2))})
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as stream:
+        for line in (good, lost, after):
+            stream.write(line.encode("utf-8") + b"\n")
+    store.transport.put("shards/shard-00000000-00000002.jsonl.gz", buffer.getvalue())
+
+    assert set(store.completed_indexes()) == {0}
+    assert store.load_result(0) == _full_result(0)
+    assert len(store.results_digest()) == 64  # aggregation no longer explodes
+    assert list(store.iter_all()) == [_full_result(0)]
 
 
 def test_scan_leaves_fresh_shard_in_read_cache(tmp_path, monkeypatch):

@@ -1,0 +1,367 @@
+"""Tests for the pluggable shard-store transports.
+
+Two layers of contract: the :class:`ShardTransport` operations themselves
+(atomic put, exactly-one-winner put-if-absent, generation-conditional
+delete/refresh — exercised identically against the POSIX backend and the
+object-store emulation server), and the storage protocols built on top of
+them (the result store and the slice-lease lifecycle, which must behave the
+same over either backend).  The POSIX transport additionally guarantees the
+historical on-disk layout byte for byte, so stores written before the
+transport layer existed resume unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+import pytest
+
+from repro.core.distributed import SliceLeases
+from repro.core.objstore import LocalObjectStore
+from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
+from repro.core.transport import (
+    ObjectStoreTransport,
+    PosixTransport,
+    TransportKeyError,
+    _temp_path_for,
+    atomic_write_bytes,
+    transport_for,
+)
+
+from test_resultstore import _full_result  # noqa: E402 - shared result factory
+
+_BUCKETS = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def objstore_server():
+    server = LocalObjectStore(("127.0.0.1", 0)).start()
+    yield server
+    server.stop()
+
+
+class Backend:
+    """One transport under test plus the knobs the tests need around it."""
+
+    def __init__(self, root, transport, backdate):
+        self.root = root
+        self.transport = transport
+        self.backdate = backdate  # backdate(key, seconds): age an object
+
+
+@pytest.fixture(params=["posix", "objstore"])
+def backend(request, tmp_path, objstore_server) -> Backend:
+    if request.param == "posix":
+        root = str(tmp_path / "store")
+
+        def backdate(key: str, seconds: float) -> None:
+            path = os.path.join(root, *key.split("/"))
+            stat = os.stat(path)
+            os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+        return Backend(root, PosixTransport(root), backdate)
+
+    bucket = f"bucket-{next(_BUCKETS)}"
+    root = f"{objstore_server.url}/{bucket}"
+
+    def backdate(key: str, seconds: float) -> None:
+        objstore_server.backdate(f"{bucket}/{key}", seconds)
+
+    return Backend(root, ObjectStoreTransport(root), backdate)
+
+
+# ------------------------------------------------------------- dispatching
+
+
+def test_transport_for_picks_backend_by_root_shape(tmp_path):
+    assert isinstance(transport_for(str(tmp_path)), PosixTransport)
+    assert isinstance(
+        transport_for("objstore://127.0.0.1:9999/bucket"), ObjectStoreTransport
+    )
+    with pytest.raises(ValueError):
+        ObjectStoreTransport("objstore://127.0.0.1:9999")  # no bucket
+    with pytest.raises(ValueError):
+        ObjectStoreTransport("/just/a/path")
+
+
+def test_posix_layout_is_the_historical_one(tmp_path):
+    # Keys map onto the exact paths the pre-transport store used, so stores
+    # written by either code generation are interchangeable.
+    root = str(tmp_path / "store")
+    transport = PosixTransport(root)
+    transport.put("MANIFEST.json", b"{}")
+    transport.put("shards/shard-00000000-00000001.jsonl.gz", b"gz")
+    assert transport.locate("MANIFEST.json") == os.path.join(root, "MANIFEST.json")
+    assert os.path.isfile(os.path.join(root, "MANIFEST.json"))
+    assert os.path.isfile(
+        os.path.join(root, "shards", "shard-00000000-00000001.jsonl.gz")
+    )
+
+
+# ---------------------------------------------------------------- contract
+
+
+def test_put_get_roundtrip_and_overwrite(backend):
+    transport = backend.transport
+    with pytest.raises(TransportKeyError):
+        transport.get("a/missing")
+    assert transport.stat("a/missing") is None
+    transport.put("a/obj", b"one")
+    assert transport.get("a/obj") == b"one"
+    transport.put("a/obj", b"two")  # atomic overwrite
+    data, stat = transport.get_with_stat("a/obj")
+    assert data == b"two"
+    assert stat.size == len(b"two")
+    assert transport.stat("a/obj").generation == stat.generation
+
+
+def test_every_write_changes_the_generation(backend):
+    transport = backend.transport
+    transport.put("g/obj", b"one")
+    first = transport.stat("g/obj").generation
+    transport.put("g/obj", b"one")  # same content still re-generates
+    assert transport.stat("g/obj").generation != first
+
+
+def test_put_if_absent_has_exactly_one_winner(backend):
+    transport = backend.transport
+    assert transport.put_if_absent("race/obj", b"mine") is True
+    assert transport.put_if_absent("race/obj", b"theirs") is False
+    assert transport.get("race/obj") == b"mine"
+
+
+def test_concurrent_put_if_absent_has_exactly_one_winner(backend):
+    transport = backend.transport
+    outcomes: list[tuple[str, bool]] = []
+    barrier = threading.Barrier(8)
+
+    def contend(name: str) -> None:
+        barrier.wait()
+        fresh = transport_for(backend.root)  # own connections per contender
+        outcomes.append((name, fresh.put_if_absent("hot/obj", name.encode())))
+
+    threads = [threading.Thread(target=contend, args=(f"w{i}",)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    winners = [name for name, won in outcomes if won]
+    assert len(winners) == 1
+    assert backend.transport.get("hot/obj") == winners[0].encode()
+
+
+def test_list_is_flat_prefix_scoped_and_sorted(backend):
+    transport = backend.transport
+    transport.put("dir/b", b"2")
+    transport.put("dir/a", b"1")
+    transport.put("other/c", b"3")
+    assert transport.list("dir/") == ["dir/a", "dir/b"]
+    assert transport.list("dir/a") == ["dir/a"]
+    assert transport.list("empty/") == []
+
+
+def test_delete_is_idempotent_and_conditional_delete_respects_generation(backend):
+    transport = backend.transport
+    transport.put("d/obj", b"x")
+    generation = transport.stat("d/obj").generation
+    transport.put("d/obj", b"y")  # replaced: the old generation is stale
+    assert transport.delete_if_unchanged("d/obj", generation) is False
+    assert transport.get("d/obj") == b"y"
+    assert transport.delete_if_unchanged("d/obj", transport.stat("d/obj").generation)
+    assert transport.stat("d/obj") is None
+    assert transport.delete_if_unchanged("d/obj", generation) is False  # absent
+    transport.delete("d/obj")  # idempotent no-op
+
+
+def test_refresh_bumps_mtime_only_under_matching_generation(backend):
+    transport = backend.transport
+    transport.put("r/obj", b"x")
+    before = transport.stat("r/obj")
+    backend.backdate("r/obj", 100.0)
+    aged = transport.stat("r/obj")
+    assert aged.mtime < before.mtime
+    current = aged.generation
+    assert transport.refresh("r/obj", current) is True
+    refreshed = transport.stat("r/obj")
+    assert refreshed.mtime > aged.mtime
+    assert refreshed.generation != current
+    assert transport.refresh("r/obj", current) is False  # stale token
+    assert transport.refresh("r/missing", current) is False
+
+
+# ------------------------------------------------- store over any backend
+
+
+def test_store_round_trip_over_object_store(backend):
+    store = ShardedResultStore(backend.root)
+    store.open("fp", total=4)
+    records = [(index, _full_result(index)) for index in range(4)]
+    store.write_shard(records[:2])
+    store.write_shard(records[2:])
+    assert store.record_count() == 4
+    assert store.stored_record_count() == 4
+    assert list(store.iter_all()) == [result for _, result in records]
+    assert store.compressed_bytes() > 0
+
+    # A fresh store instance (a different process in real life) sees it all.
+    again = ShardedResultStore(backend.root)
+    assert again.load_result(3) == records[3][1]
+    with pytest.raises(ResultStoreMismatchError):
+        ShardedResultStore(backend.root).open("other-fp", total=4)
+
+
+def test_store_digest_is_transport_independent(tmp_path, objstore_server):
+    records = [(index, _full_result(index)) for index in range(4)]
+    posix = ShardedResultStore(str(tmp_path / "posix"))
+    remote = ShardedResultStore(f"{objstore_server.url}/digest-{next(_BUCKETS)}")
+    for store in (posix, remote):
+        store.open("fp", total=4)
+        store.write_shard(records)
+    assert posix.results_digest() == remote.results_digest()
+
+
+def test_store_prep_round_trip_over_object_store(objstore_server):
+    store = ShardedResultStore(f"{objstore_server.url}/prep-{next(_BUCKETS)}")
+    prepared = [("baseline-sentinel", ["field-sentinel"])]
+    store.save_prep("prep-fp", prepared)
+    assert store.load_prep("prep-fp") == prepared
+    with pytest.raises(ResultStoreMismatchError):
+        store.load_prep("other-fp")
+
+
+def test_truncated_shard_over_object_store_yields_readable_prefix(objstore_server):
+    root = f"{objstore_server.url}/trunc-{next(_BUCKETS)}"
+    store = ShardedResultStore(root)
+    store.open("fp", total=8)
+    store.write_shard([(index, _full_result(index)) for index in range(8)])
+    (key,) = store.shard_keys()
+    payload = store.transport.get(key)
+    store.transport.put(key, payload[: len(payload) // 2])
+    store.refresh()
+    completed = set(store.completed_indexes())
+    assert completed < set(range(8))
+    for index in sorted(completed):
+        assert store.load_result(index) == _full_result(index)
+
+
+# --------------------------------------------- lease lifecycle, per backend
+
+
+def test_lease_double_claim_single_winner(backend):
+    leases = SliceLeases(backend.root, ttl=30.0)
+    assert leases.try_claim(0, "worker-a") is True
+    assert leases.try_claim(0, "worker-b") is False
+    info = leases.lease_info(0)
+    assert info.worker == "worker-a"
+    assert not info.expired
+    assert leases.try_claim(1, "worker-b") is True
+
+
+def test_lease_expiry_and_reclamation(backend):
+    leases = SliceLeases(backend.root, ttl=5.0)
+    assert leases.try_claim(0, "crashed-worker")
+    assert leases.try_claim(0, "worker-b") is False  # fresh
+    backend.backdate(leases._lease_key(0), 6.0)
+    assert leases.lease_info(0).expired
+    assert leases.try_claim(0, "worker-b") is True
+    assert leases.lease_info(0).worker == "worker-b"
+
+
+def test_lease_expiry_honors_owner_recorded_ttl(backend):
+    owner = SliceLeases(backend.root, ttl=60.0)
+    assert owner.try_claim(0, "long-ttl-worker")
+    impatient = SliceLeases(backend.root, ttl=0.1)
+    backend.backdate(owner._lease_key(0), 5.0)  # old, within the owner's 60s
+    assert impatient.lease_info(0).expired is False
+    assert impatient.try_claim(0, "impatient") is False
+
+
+def test_lease_heartbeat_refreshes_and_detects_loss(backend):
+    leases = SliceLeases(backend.root, ttl=5.0)
+    assert leases.try_claim(0, "worker-a")
+    backend.backdate(leases._lease_key(0), 6.0)
+    # The owner heartbeats just in time: the lease is fresh again.
+    assert leases.heartbeat(0, "worker-a") is True
+    assert not leases.lease_info(0).expired
+    assert leases.try_claim(0, "worker-b") is False
+
+    backend.backdate(leases._lease_key(0), 6.0)
+    assert leases.try_claim(0, "worker-b")  # reclaimed
+    # The evicted owner's heartbeat reports the loss without refreshing the
+    # new owner's lease.
+    before = backend.transport.stat(leases._lease_key(0))
+    assert leases.heartbeat(0, "worker-a") is False
+    after = backend.transport.stat(leases._lease_key(0))
+    assert (after.mtime, after.generation) == (before.mtime, before.generation)
+    leases.release(0)
+    assert leases.heartbeat(0, "worker-a") is False  # absent is also a loss
+
+
+def test_lease_release_by_evicted_owner_spares_new_owner(backend):
+    leases = SliceLeases(backend.root, ttl=5.0)
+    assert leases.try_claim(0, "worker-a")
+    backend.backdate(leases._lease_key(0), 6.0)
+    assert leases.try_claim(0, "worker-b")
+    leases.release(0, "worker-a")
+    assert leases.lease_info(0).worker == "worker-b"
+    leases.release(0, "worker-b")
+    assert leases.lease_info(0) is None
+
+
+def test_lease_done_marker_blocks_claims_and_keeps_provenance(backend):
+    leases = SliceLeases(backend.root, ttl=5.0)
+    assert leases.try_claim(0, "worker-a")
+    leases.mark_done(0, "worker-a", start=0, stop=3, executed=3)
+    assert leases.is_done(0)
+    assert leases.lease_info(0) is None
+    assert leases.try_claim(0, "worker-b") is False
+    (record,) = leases.done_records()
+    assert record["worker"] == "worker-a"
+    assert (record["start"], record["stop"], record["executed"]) == (0, 3, 3)
+    assert leases.outstanding() == []
+
+
+# ------------------------------------------------- atomic_write_bytes fix
+
+
+def test_temp_names_are_unique_within_one_thread():
+    # The historical name embedded only the pid, so two in-flight writes of
+    # one target inside one process shared a temp file.
+    first = _temp_path_for("/store/LEASE")
+    second = _temp_path_for("/store/LEASE")
+    assert first != second
+    for name in (first, second):
+        assert name.startswith("/store/LEASE.")
+        assert name.endswith(".tmp")
+        assert str(os.getpid()) in name
+
+
+def test_concurrent_atomic_writes_to_one_path_never_collide(tmp_path):
+    # Regression: the worker heartbeat thread and the main loop both write
+    # lease files; with pid-only temp names they scribbled over each other's
+    # in-flight temp file.  Hammering one target from many threads must end
+    # with one intact payload and zero leftover temp files.
+    target = str(tmp_path / "lease")
+    payloads = [f"payload-{i:02d}".encode() * 64 for i in range(8)]
+    barrier = threading.Barrier(8)
+    errors: list[BaseException] = []
+
+    def write(payload: bytes) -> None:
+        barrier.wait()
+        try:
+            for _ in range(25):
+                atomic_write_bytes(target, payload)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    with open(target, "rb") as handle:
+        assert handle.read() in payloads  # one writer's bytes, intact
+    assert os.listdir(tmp_path) == ["lease"]  # no temp residue
