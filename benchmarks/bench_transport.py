@@ -5,10 +5,14 @@ transports (the shared-directory backend and the local object-store
 emulation server) and reports shard write and store scan throughput side by
 side — the object store pays one HTTP round trip per shard where POSIX pays
 a rename, and this benchmark keeps that overhead visible in the nightly
-record.  Timings go to stdout (and the nightly report); the file written to
-``benchmarks/output/`` carries only transport-independent facts — record
-counts and digest equality — so the CI serial-vs-parallel drift check can
-diff it like every other rendered output.
+record.  The batched-upload path (``--shard-batch``: several batches
+appended into one shard object under a generation precondition) is timed
+alongside the per-shard numbers on both transports, so the cost of the
+coalescing itself stays visible too.  Timings go to stdout (and the nightly
+report); the file written to ``benchmarks/output/`` carries only
+transport-independent facts — record counts, shard counts, and digest
+equality — so the CI serial-vs-parallel drift check can diff it like every
+other rendered output.
 """
 
 from __future__ import annotations
@@ -24,6 +28,9 @@ from repro.workloads.workload import WorkloadKind
 
 #: Records per synthetic shard (the executor's batch size, roughly).
 SHARD_RECORDS = 20
+
+#: Batches coalesced per shard object on the batched-upload path.
+SHARD_BATCH = 4
 
 
 def _records(total: int) -> list[tuple[int, dict]]:
@@ -44,6 +51,16 @@ def _write_store(root: str, records: list[tuple[int, dict]]) -> ShardedResultSto
     store.open("bench-transport", total=len(records))
     for start in range(0, len(records), SHARD_RECORDS):
         store.write_shard_dicts(records[start : start + SHARD_RECORDS])
+    return store
+
+
+def _write_store_batched(root: str, records: list[tuple[int, dict]]) -> ShardedResultStore:
+    """The --shard-batch path: same batches, appended into 1/N the objects."""
+    store = ShardedResultStore(root)
+    store.open("bench-transport", total=len(records))
+    writer = store.batched_writer(SHARD_BATCH)
+    for start in range(0, len(records), SHARD_RECORDS):
+        writer.write_dicts(records[start : start + SHARD_RECORDS])
     return store
 
 
@@ -87,12 +104,30 @@ def test_transport_write_scan_throughput(benchmark, tmp_path_factory):
         remote_digest = _scan_store(remote_root)
         remote_scan_seconds = time.monotonic() - started
 
+        # Batched upload (--shard-batch): same batches, 1/N the objects.
+        batched_posix_root = str(tmp_path_factory.mktemp("posix-batched"))
+        started = time.monotonic()
+        batched_posix_store = _write_store_batched(batched_posix_root, records)
+        batched_posix_write_seconds = time.monotonic() - started
+        batched_posix_digest = _scan_store(batched_posix_root)
+        batched_remote_root = f"{server.url}/bench-batched"
+        started = time.monotonic()
+        _write_store_batched(batched_remote_root, records)
+        batched_remote_write_seconds = time.monotonic() - started
+        batched_remote_digest = _scan_store(batched_remote_root)
+        batched_shards = len(batched_posix_store.shard_keys())
+
         shards = -(-total // SHARD_RECORDS)
         print(
             f"\nposix ({total} records, {shards} shards): write "
             f"{posix_write_seconds:.2f}s + scan {posix_scan_seconds:.2f}s; "
             f"object store: write {remote_write_seconds:.2f}s + scan "
             f"{remote_scan_seconds:.2f}s"
+        )
+        print(
+            f"batched x{SHARD_BATCH} ({batched_shards} shards): posix write "
+            f"{batched_posix_write_seconds:.2f}s; object store write "
+            f"{batched_remote_write_seconds:.2f}s"
         )
 
         # Only transport-independent facts go into the diffed output file.
@@ -104,9 +139,15 @@ def test_transport_write_scan_throughput(benchmark, tmp_path_factory):
                     f"records              : {total}",
                     f"shards               : {shards}",
                     f"digest matches posix : {remote_digest == posix_digest}",
+                    f"batched shards       : {batched_shards} (x{SHARD_BATCH})",
+                    "batched digests match: "
+                    f"{batched_posix_digest == posix_digest and batched_remote_digest == posix_digest}",
                 ]
             ),
         )
         assert remote_digest == posix_digest
+        assert batched_posix_digest == posix_digest
+        assert batched_remote_digest == posix_digest
+        assert batched_shards < shards
     finally:
         server.stop()

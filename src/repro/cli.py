@@ -11,7 +11,8 @@ Usage::
     python -m repro.cli propagation [--workers N] [--fields-per-component K]
     python -m repro.cli inspect RESULTS_DIR [--json FILE]
     python -m repro.cli federate DEST SOURCE [SOURCE ...]
-    python -m repro.cli objstore [--host H] [--port P]
+    python -m repro.cli autofederate DEST SOURCE [SOURCE ...] [--timeout S]
+    python -m repro.cli objstore [--host H] [--port P] [--max-page N]
 
 or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
 
@@ -38,7 +39,16 @@ conditional HTTP to an object store instead of a shared filesystem, which
 frees distributed workers from needing any common mount.  ``objstore`` runs
 the local emulation server behind that scheme; ``federate`` merges several
 stores of the *same* campaign (any mix of transports) into one store whose
-digest is byte-identical to a single serial run.
+digest is byte-identical to a single serial run, and ``autofederate`` is
+its watching form: it polls several stores (even ones their workers haven't
+created yet) and folds newly completed experiments into the destination
+until the campaign's full plan is there.
+
+Very large campaigns stress the store path itself; two knobs keep it flat:
+object-store listings paginate transparently (server ``--max-page``, client
+``MUTINY_OBJSTORE_PAGE``), and ``--shard-batch N`` on ``campaign``/``worker``
+coalesces N finished batches into one stored shard object via conditional
+appends — same results, same digests, 1/N the objects.
 """
 
 from __future__ import annotations
@@ -195,6 +205,7 @@ def _make_config(args: argparse.Namespace, max_experiments: Optional[int]) -> Ca
         seed=args.seed,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        shard_batch=getattr(args, "shard_batch", 1),
     )
 
 
@@ -314,6 +325,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         worker_id=args.worker_id,
         workers=args.workers if args.workers is not None else 1,
         chunk_size=args.chunk_size,
+        shard_batch=args.shard_batch,
         lease_ttl=args.lease_ttl,
         heartbeat_interval=args.heartbeat,
         poll_interval=args.poll_interval,
@@ -354,11 +366,34 @@ def _cmd_federate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autofederate(args: argparse.Namespace) -> int:
+    """Watch several stores and fold new shards into one destination."""
+    from repro.core.federate import autofederate_stores
+
+    progress = None
+    if not args.quiet:
+
+        def progress(done: int, total: int) -> None:
+            print(f"[{done}/{total}] records folded", file=sys.stderr)
+
+    report = autofederate_stores(
+        args.dest,
+        args.sources,
+        shard_records=args.shard_records,
+        poll_interval=args.poll_interval,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    print(report.describe())
+    print(f"\nrun `python -m repro.cli inspect {args.dest}` for the merged summary")
+    return 0
+
+
 def _cmd_objstore(args: argparse.Namespace) -> int:
     """Run the local S3-style object-store emulation server (blocking)."""
     from repro.core.objstore import serve
 
-    serve(host=args.host, port=args.port)
+    serve(host=args.host, port=args.port, max_page=args.max_page)
     return 0
 
 
@@ -447,6 +482,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: wait forever)",
     )
     campaign.add_argument(
+        "--shard-batch",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="finished batches coalesced per stored shard object when "
+        "streaming into --results-dir (conditional appends; same results "
+        "and digests, 1/N the stored objects; with --backend distributed "
+        "the value is published in the plan and inherited by every worker "
+        "that doesn't set its own; default: 1)",
+    )
+    campaign.add_argument(
         "--tables", action="store_true", help="print Tables III-V and Figures 6-7"
     )
     campaign.add_argument(
@@ -486,6 +532,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K",
         help="experiments per batch/shard (default: sized automatically)",
+    )
+    worker.add_argument(
+        "--shard-batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="finished batches coalesced per stored shard object "
+        "(conditional appends; every batch stays durable on completion, "
+        "the store holds 1/N the objects; default: inherit the "
+        "coordinator's --shard-batch from the published plan)",
     )
     worker.add_argument(
         "--lease-ttl",
@@ -606,6 +662,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     federate.set_defaults(func=_cmd_federate)
 
+    autofederate = subparsers.add_parser(
+        "autofederate",
+        help="watch several result stores of one campaign and incrementally "
+        "fold newly completed experiments into a destination store until "
+        "the full plan is there (sources may not exist yet when the "
+        "watch starts)",
+    )
+    autofederate.add_argument(
+        "dest",
+        metavar="DEST",
+        help="destination store (directory or objstore:// URL; created once "
+        "the first source manifest appears)",
+    )
+    autofederate.add_argument(
+        "sources",
+        metavar="SOURCE",
+        nargs="+",
+        help="source stores to watch; on an index first seen in several "
+        "sources within one poll round, the later source wins",
+    )
+    autofederate.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="S",
+        help="seconds between source scans (default: 0.5)",
+    )
+    autofederate.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="fail if the destination is incomplete after S seconds "
+        "(default: watch forever)",
+    )
+    autofederate.add_argument(
+        "--shard-records",
+        type=_positive_int,
+        default=512,
+        metavar="K",
+        help="records per merged shard (default: 512)",
+    )
+    autofederate.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines on stderr"
+    )
+    autofederate.set_defaults(func=_cmd_autofederate)
+
     objstore = subparsers.add_parser(
         "objstore",
         help="run the local S3-style object-store emulation server "
@@ -619,6 +722,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=_non_negative_int,
         default=8383,
         help="bind port, 0 = pick a free one (default: 8383)",
+    )
+    objstore.add_argument(
+        "--max-page",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="server-side cap on keys per /list page — clients paginate "
+        "transparently; tests/CI use a tiny cap to force pagination "
+        "(default: uncapped)",
     )
     objstore.set_defaults(func=_cmd_objstore)
     return parser

@@ -152,6 +152,11 @@ class CampaignConfig:
     workers: Optional[int] = None
     #: Experiments per batch handed to a worker (None = sized automatically).
     chunk_size: Optional[int] = None
+    #: Finished batches coalesced per stored shard object when streaming
+    #: into a --results-dir (1 = the historical one-shard-per-batch layout).
+    #: A storage-layout knob only: results and digests are unchanged, but a
+    #: paper-scale campaign stores 1/N as many shard objects.
+    shard_batch: int = 1
     #: Experiment timing/sizing.
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
 
@@ -376,6 +381,7 @@ class Campaign:
             progress=progress,
             checkpoint_path=checkpoint_path,
             results_dir=results_dir,
+            shard_batch=self.config.shard_batch,
         )
 
     def _preps(self) -> list[WorkloadPrep]:
@@ -545,6 +551,9 @@ class Campaign:
             fingerprint=fingerprint,
             settings=settings,
             progress=progress,
+            # Published with the plan so every worker inherits the
+            # coalescing factor (a worker's own --shard-batch overrides).
+            shard_batch=self.config.shard_batch,
         )
         coordinator.publish()
         if fresh_prep is not None:

@@ -131,6 +131,11 @@ class DistributedPlan:
     tasks: list[ExperimentTask]
     baselines: dict[str, GoldenBaseline]
     slice_size: int
+    #: Finished batches coalesced per stored shard object.  Published so the
+    #: coordinator's ``--shard-batch`` reaches every worker; a worker's own
+    #: flag overrides it.  Not part of the fingerprint — it is storage
+    #: layout, never results.
+    shard_batch: int = 1
 
     @property
     def total(self) -> int:
@@ -179,6 +184,9 @@ def load_plan(root: str, transport=None) -> Optional[DistributedPlan]:
         tasks=payload["tasks"],
         baselines=payload["baselines"],
         slice_size=payload["slice_size"],
+        # Absent in plans published before batched upload existed: those
+        # campaigns ran one shard per batch, which the default preserves.
+        shard_batch=payload.get("shard_batch", 1),
     )
 
 
@@ -205,6 +213,7 @@ def publish_plan(root: str, plan: DistributedPlan) -> bool:
         "tasks": plan.tasks,
         "baselines": plan.baselines,
         "slice_size": plan.slice_size,
+        "shard_batch": plan.shard_batch,
     }
     buffer = io.BytesIO()
     pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
@@ -380,7 +389,12 @@ class SliceLeases:
             return False
         if payload.get("worker") != worker:
             return False
-        return self.transport.refresh(key, stat.generation)
+        # Handing the transport the bytes we just verified lets it resolve
+        # retried-request ambiguity: a refresh whose first attempt applied
+        # before its response was lost re-reads the lease, and our payload
+        # still being there proves the heartbeat landed — without it, one
+        # dropped response made the owner wrongly surrender its slice.
+        return self.transport.refresh(key, stat.generation, expected=data)
 
     def release(self, slice_id: int, worker: Optional[str] = None) -> None:
         """Drop the lease (idempotent).
@@ -413,7 +427,9 @@ class SliceLeases:
     def outstanding(self) -> list[LeaseInfo]:
         """Every lease currently outstanding, in slice order."""
         infos = []
-        for key in self.transport.list(f"{_LEASE_DIR}/slice-"):
+        # list_iter: the lease directory of a huge campaign pages through
+        # bounded listing requests instead of one unbounded response.
+        for key in self.transport.list_iter(f"{_LEASE_DIR}/slice-"):
             name = key.rpartition("/")[2]
             if not name.endswith(".lease"):
                 continue
@@ -450,7 +466,7 @@ class SliceLeases:
     def done_records(self) -> list[dict]:
         """Every completion marker, in slice order (inspect provenance)."""
         records = []
-        for key in self.transport.list(f"{_LEASE_DIR}/slice-"):
+        for key in self.transport.list_iter(f"{_LEASE_DIR}/slice-"):
             if not key.endswith(".done"):
                 continue
             try:
@@ -483,7 +499,11 @@ class DistributedWorker:
     ``workers > 1`` a single worker process additionally fans its slice out
     over a local process pool, so a big host can serve as N workers with one
     lease.  Already-stored indexes (a crashed predecessor's surviving
-    shards) are never re-run.
+    shards) are never re-run.  ``shard_batch`` coalesces N finished batches
+    into one shard object via generation-conditional appends
+    (:class:`~repro.core.resultstore.BatchedShardWriter`): each batch is
+    durable the moment it completes, but a very large campaign stores — and
+    later lists — 1/N as many objects.
 
     ``stall_after_batches`` is a fault-injection knob in the spirit of the
     repository: after N completed batches the worker stops heartbeating and
@@ -499,6 +519,7 @@ class DistributedWorker:
         worker_id: Optional[str] = None,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        shard_batch: Optional[int] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         heartbeat_interval: Optional[float] = None,
         poll_interval: float = 0.5,
@@ -511,6 +532,7 @@ class DistributedWorker:
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.workers = workers
         self.chunk_size = chunk_size
+        self.shard_batch = shard_batch
         self.lease_ttl = lease_ttl
         self.heartbeat_interval = (
             heartbeat_interval if heartbeat_interval is not None else max(lease_ttl / 4.0, 0.05)
@@ -532,9 +554,15 @@ class DistributedWorker:
         leases = SliceLeases(self.root, ttl=self.lease_ttl)
         slices = plan.slices()
         report = WorkerReport(self.worker_id, slices_completed=0, experiments_run=0)
+        # None = inherit the coalescing factor the coordinator published;
+        # an explicit per-worker --shard-batch overrides it.
+        shard_batch = self.shard_batch if self.shard_batch is not None else plan.shard_batch
         self._log(f"plan loaded: {plan.total} experiments in {len(slices)} slice(s)")
         with CampaignExecutor(
-            plan.experiment_config, workers=self.workers, chunk_size=self.chunk_size
+            plan.experiment_config,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            shard_batch=shard_batch,
         ) as executor:
             while self.max_slices is None or report.slices_completed < self.max_slices:
                 store.refresh()
@@ -685,6 +713,7 @@ class DistributedCoordinator:
         fingerprint: str,
         settings: Optional[DistributedSettings] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        shard_batch: int = 1,
     ):
         self.root = root
         self.tasks = tasks
@@ -693,6 +722,7 @@ class DistributedCoordinator:
         self.fingerprint = fingerprint
         self.settings = settings if settings is not None else DistributedSettings()
         self.progress = progress
+        self.shard_batch = shard_batch
 
     def publish(self) -> DistributedPlan:
         """Open/validate the store and publish the plan (idempotent)."""
@@ -705,6 +735,7 @@ class DistributedCoordinator:
             tasks=self.tasks,
             baselines=self.baselines,
             slice_size=slice_size,
+            shard_batch=self.shard_batch,
         )
         publish_plan(self.root, plan)
         return plan

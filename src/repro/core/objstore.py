@@ -29,22 +29,38 @@ Wire protocol (all object keys URL-quoted under ``/k/``):
 ========================  =====================================================
 ``PUT /k/<key>``          write; ``If-None-Match: *`` -> 412 if the key exists;
                           ``If-Match: <etag>`` -> 412 unless it matches
+``PUT /k/<key>?append=1`` append the body to the object instead of replacing
+                          it, under the same preconditions (``If-None-Match:
+                          *`` creates; ``If-Match`` extends the exact
+                          generation) — the batched-shard-upload primitive
 ``GET /k/<key>``          200 body + ``ETag``/``X-Object-Mtime`` or 404
 ``HEAD /k/<key>``         like GET without the body (adds ``X-Object-Size``)
 ``DELETE /k/<key>``       204 (idempotent); with ``If-Match`` -> 404/412 when
                           absent/changed
 ``POST /k/<key>?op=refresh``  bump mtime+ETag iff ``If-Match`` matches
-``GET /list?prefix=<p>``  JSON ``{"keys": [...]}`` of keys under the prefix
+``GET /list?prefix=<p>``  JSON ``{"keys": [...], "truncated": bool}`` of keys
+                          under the prefix; ``&limit=<n>`` caps the page and
+                          ``&after=<key>`` resumes a paginated listing past
+                          the given key (S3 continuation-token style)
 ``GET /healthz``          readiness probe for CI wait loops
 ========================  =====================================================
 
 Every mutation assigns a fresh server-side **ETag** (the generation token of
 the transport layer) and mtime, under one lock — conditional operations are
 genuinely atomic here, unlike their best-effort POSIX counterparts.
+
+Very large campaigns list hundreds of thousands of shard keys; an unbounded
+``/list`` response is exactly the single-choke-point failure mode the Mutiny
+paper documents for control planes, so the server never has to produce one:
+pass ``max_page`` (CLI ``--max-page``) to cap every listing page server-side
+regardless of what the client asked for — clients page transparently through
+``truncated``/``after``.  Tests and CI run with a tiny ``max_page`` to force
+pagination on campaigns of any size.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 import threading
 import time
@@ -68,10 +84,16 @@ class LocalObjectStore(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int] = ("127.0.0.1", 0)):
+    def __init__(
+        self,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_page: Optional[int] = None,
+    ):
         super().__init__(address, _Handler)
         self.objects: dict[str, StoredObject] = {}
         self.lock = threading.Lock()
+        #: Server-side cap on keys per ``/list`` page (None = uncapped).
+        self.max_page = max_page
         self._etag_counter = 0
         self._thread: Optional[threading.Thread] = None
 
@@ -102,13 +124,22 @@ class LocalObjectStore(ThreadingHTTPServer):
         self._etag_counter += 1
         return f'"g{self._etag_counter}"'
 
-    def put(self, key: str, data: bytes, if_none_match: bool, if_match: Optional[str]):
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        if_none_match: bool,
+        if_match: Optional[str],
+        append: bool = False,
+    ):
         with self.lock:
             existing = self.objects.get(key)
             if if_none_match and existing is not None:
                 return None
             if if_match is not None and (existing is None or existing.etag != if_match):
                 return None
+            if append and existing is not None:
+                data = existing.data + data
             stored = StoredObject(data=data, etag=self._next_etag(), mtime=time.time())
             self.objects[key] = stored
             return stored
@@ -137,9 +168,35 @@ class LocalObjectStore(ThreadingHTTPServer):
             existing.mtime = time.time()
             return existing
 
-    def list_keys(self, prefix: str) -> list[str]:
+    def list_keys(
+        self, prefix: str, limit: Optional[int] = None, after: str = ""
+    ) -> tuple[list[str], bool]:
+        """One page of sorted keys under ``prefix``, strictly after ``after``.
+
+        Returns ``(keys, truncated)``: ``truncated`` tells the client to ask
+        again with ``after=keys[-1]``.  The effective page size is the
+        smaller of the client's ``limit`` and the server's ``max_page`` —
+        the server never produces an unbounded response when configured with
+        a cap, whatever the client requested.
+
+        The lock is held only for the key snapshot; a truncated page sorts
+        just the page (``heapq.nsmallest``), not the whole remaining tail,
+        so paging a very large store never stalls concurrent traffic behind
+        repeated full sorts.  The per-page O(N) prefix scan is a deliberate
+        simplicity trade-off for this reference server (a maintained sorted
+        index would buy O(log N + page) pages at the cost of ordered-write
+        bookkeeping); the real-S3/GCS transport on the roadmap gets that
+        for free from the service.
+        """
         with self.lock:
-            return sorted(key for key in self.objects if key.startswith(prefix))
+            snapshot = list(self.objects)
+        keys = [key for key in snapshot if key.startswith(prefix) and key > after]
+        cap = limit
+        if self.max_page is not None:
+            cap = self.max_page if cap is None else min(cap, self.max_page)
+        if cap is None or len(keys) <= cap:
+            return sorted(keys), False
+        return heapq.nsmallest(cap, keys), True
 
     def backdate(self, key: str, seconds: float) -> None:
         """Age an object's mtime (tests exercising lease expiry; the POSIX
@@ -192,8 +249,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, b"ok")
             return
         if parsed.path == "/list":
-            prefix = self._query().get("prefix", "")
-            body = json.dumps({"keys": self.server.list_keys(prefix)}).encode("utf-8")
+            query = self._query()
+            limit: Optional[int] = None
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"])
+                    if limit < 1:
+                        raise ValueError
+                except ValueError:
+                    self._send(400, b"limit must be a positive integer")
+                    return
+            keys, truncated = self.server.list_keys(
+                query.get("prefix", ""), limit=limit, after=query.get("after", "")
+            )
+            body = json.dumps({"keys": keys, "truncated": truncated}).encode("utf-8")
             self._send(200, body, {"Content-Type": "application/json"})
             return
         key = self._key()
@@ -225,6 +294,7 @@ class _Handler(BaseHTTPRequestHandler):
             data,
             if_none_match=self.headers.get("If-None-Match") == "*",
             if_match=self.headers.get("If-Match"),
+            append=self._query().get("append") == "1",
         )
         if stored is None:
             self._send(412)
@@ -253,9 +323,11 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(self.server.delete(key, self.headers.get("If-Match")))
 
 
-def serve(host: str = "127.0.0.1", port: int = 8383) -> LocalObjectStore:
+def serve(
+    host: str = "127.0.0.1", port: int = 8383, max_page: Optional[int] = None
+) -> LocalObjectStore:
     """Blocking standalone server (the ``repro.cli objstore`` entry point)."""
-    server = LocalObjectStore((host, port))
+    server = LocalObjectStore((host, port), max_page=max_page)
     print(f"object store listening on {server.url}", flush=True)
     try:
         server.serve_forever()

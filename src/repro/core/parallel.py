@@ -31,6 +31,7 @@ from repro.core.classification import GoldenBaseline
 from repro.core.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
 from repro.core.injector import FaultSpec
 from repro.core.resultstore import (
+    BatchedShardWriter,
     ResultStoreMismatchError,
     ShardedResultStore,
     StoredResults,
@@ -141,6 +142,7 @@ def _run_batch_local(
     tasks: list[ExperimentTask],
     baselines: dict[str, GoldenBaseline],
     store_root: Optional[str] = None,
+    shard_writer: Optional[BatchedShardWriter] = None,
 ):
     """Run one batch of tasks against an explicit runner.
 
@@ -148,7 +150,9 @@ def _run_batch_local(
     (the original behaviour).  With ``store_root`` the batch is serialized
     to one compressed shard and only the completed plan indexes travel back,
     so the parent's memory stays bounded by its own bookkeeping no matter
-    how large the campaign is.
+    how large the campaign is.  With a ``shard_writer`` the batch still
+    becomes durable immediately but is appended into the writer's open
+    shard group instead of creating a new object (``--shard-batch``).
 
     This is the slice-execution core both backends share: process-pool
     workers reach it through :func:`_run_batch` (pool-initialized runner),
@@ -168,19 +172,48 @@ def _run_batch_local(
         )
         for task in tasks
     ]
-    if store_root is None:
+    if shard_writer is not None:
+        shard_writer.write(results)
+    elif store_root is None:
         return results
-    ShardedResultStore(store_root).write_shard(results)
+    else:
+        ShardedResultStore(store_root).write_shard(results)
     return [index for index, _ in results]
+
+
+def _cached_shard_writer(
+    cache: dict, store_root: Optional[str], shard_batch: int
+) -> Optional[BatchedShardWriter]:
+    """Get-or-create the persistent batched writer for one store root.
+
+    One memoization for both execution paths: pool workers cache in the
+    process-global ``_WORKER_STATE``, the serial path caches on its
+    executor — either way the writer (and with it the open shard group)
+    carries across batches and slices.  No flush is ever needed: appends
+    are durable as they happen, and a group cut short by shutdown is simply
+    a shard with fewer members.
+    """
+    if store_root is None or shard_batch <= 1:
+        return None
+    key = ("shard_writer", store_root, shard_batch)
+    writer = cache.get(key)
+    if writer is None:
+        writer = ShardedResultStore(store_root).batched_writer(shard_batch)
+        cache[key] = writer
+    return writer
 
 
 def _run_batch(
     tasks: list[ExperimentTask],
     baselines: dict[str, GoldenBaseline],
     store_root: Optional[str] = None,
+    shard_batch: int = 1,
 ):
     """Run one batch of tasks in a pool worker process."""
-    return _run_batch_local(_WORKER_STATE["runner"], tasks, baselines, store_root)
+    shard_writer = _cached_shard_writer(_WORKER_STATE, store_root, shard_batch)
+    return _run_batch_local(
+        _WORKER_STATE["runner"], tasks, baselines, store_root, shard_writer
+    )
 
 
 def _run_golden_job(
@@ -377,12 +410,15 @@ class CampaignExecutor:
         progress: Optional[ProgressCallback] = None,
         checkpoint_path: Optional[str] = None,
         results_dir: Optional[str] = None,
+        shard_batch: int = 1,
     ):
         if checkpoint_path and results_dir:
             raise ValueError(
                 "checkpoint_path and results_dir are alternative persistence "
                 "layouts; pass exactly one of them"
             )
+        if shard_batch < 1:
+            raise ValueError(f"shard_batch must be >= 1, got {shard_batch}")
         self.experiment_config = (
             experiment_config if experiment_config is not None else ExperimentConfig()
         )
@@ -391,7 +427,17 @@ class CampaignExecutor:
         self.progress = progress
         self.checkpoint_path = checkpoint_path
         self.results_dir = results_dir
+        #: Finished batches coalesced per shard object (1 = one shard per
+        #: batch, the historical layout).  Purely a storage-layout knob:
+        #: results, digests, and resume semantics are unchanged.
+        self.shard_batch = shard_batch
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Serial-path batched-writer cache (same shape as the pool's
+        #: ``_WORKER_STATE``), persisted across execute_slice calls — a
+        #: distributed worker (workers=1) coalesces batches across its
+        #: slices exactly like the pool path's per-process writers, instead
+        #: of silently capping a shard group at one slice's batches.
+        self._serial_writers: dict = {}
         self._checkpoint_prep: Optional[dict] = None
 
     def set_checkpoint_prep(self, fingerprint: str, prepared: list) -> None:
@@ -526,12 +572,18 @@ class CampaignExecutor:
         chunks = self._chunks(pending, workers)
         if workers <= 1:
             runner = ExperimentRunner(self.experiment_config)
+            # The writer persists on the executor (one executor serves one
+            # worker loop), so the open shard group spans slices; the runner
+            # stays per-call because it is the piece other executors in the
+            # same process must not share.
+            writer = _cached_shard_writer(self._serial_writers, store_root, self.shard_batch)
             for chunk in chunks:
-                finish(_run_batch_local(runner, chunk, baselines or {}, store_root))
+                finish(_run_batch_local(runner, chunk, baselines or {}, store_root, writer))
             return
         pool = self._get_pool()
         futures = {
-            pool.submit(_run_batch, chunk, baselines or {}, store_root) for chunk in chunks
+            pool.submit(_run_batch, chunk, baselines or {}, store_root, self.shard_batch)
+            for chunk in chunks
         }
         while futures:
             completed, futures = wait(futures, return_when=FIRST_COMPLETED)

@@ -25,6 +25,14 @@ Every shard line is ``{"index": <plan index>, "result": <result dict>}``.
 A shard that was truncated mid-write (e.g. the machine died) is readable up
 to its last complete record; the missing experiments are simply re-run into
 a fresh shard on resume.
+
+With batched upload (:class:`BatchedShardWriter`, ``--shard-batch N``) one
+shard object holds up to N batches, each a self-contained gzip member
+appended under a generation precondition; the shard's name keeps the index
+span of its *first* batch (names are ordering hints — the records inside,
+each carrying its own plan index, are the ground truth).  Readers are
+unchanged: a gzip stream of concatenated members decompresses as one
+stream, and a torn trailing member reads as an ordinary truncated shard.
 """
 
 from __future__ import annotations
@@ -176,6 +184,26 @@ def _canonical_line(index: int, result_data: dict) -> str:
     )
 
 
+def _encode_member(records: list[tuple[int, dict]]) -> bytes:
+    """One batch of records as a self-contained gzip member (fixed mtime, so
+    identical records always produce identical bytes).  Gzip members
+    concatenate into one valid stream, which is what lets the batched shard
+    writer extend an existing shard object with a plain byte append."""
+    buffer = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0) as stream:
+        for index, data in records:
+            stream.write(_canonical_line(index, data).encode("utf-8") + b"\n")
+    return buffer.getvalue()
+
+
+def _shard_key_for(records: list[tuple[int, dict]]) -> str:
+    """The shard key a batch lands under (named by the batch's index span;
+    a batched shard keeps the name of its *first* batch as later batches
+    are appended — the name is an ordering hint, never ground truth)."""
+    indexes = [index for index, _ in records]
+    return f"{_SHARD_DIR}/shard-{min(indexes):08d}-{max(indexes):08d}.jsonl.gz"
+
+
 # --------------------------------------------------------------------------
 # The store
 # --------------------------------------------------------------------------
@@ -199,14 +227,15 @@ class ShardedResultStore:
         self._cached_key: Optional[str] = None
         self._cached_shard: dict[int, dict] = {}
         #: Per-shard parse cache: key -> (generation token, record indexes).
-        #: Shards are immutable once atomically renamed into place, so a
-        #: repeat scan (the distributed coordinator/workers poll the store
-        #: every few hundred milliseconds) only decompresses keys it has
-        #: never seen — not the whole store again.  The generation token
-        #: (size + mtime + identity, not size alone) catches every way a
-        #: same-named shard can change content, including a truncated shard
-        #: whose readable prefix parsed being atomically replaced by an
-        #: equal-size rewrite.
+        #: A shard's content is stable for a given generation, so a repeat
+        #: scan (the distributed coordinator/workers poll the store every
+        #: few hundred milliseconds) only decompresses keys whose generation
+        #: it has never seen — not the whole store again.  The generation
+        #: token (size + mtime + identity, not size alone) catches every way
+        #: a same-named shard can change content: a truncated shard whose
+        #: readable prefix parsed being atomically replaced by an equal-size
+        #: rewrite, and — since batched upload — a live shard a worker is
+        #: still extending with appended batches.
         self._shard_record_cache: dict[str, tuple[str, list[int]]] = {}
 
     # ------------------------------------------------------------- manifest
@@ -316,27 +345,32 @@ class ShardedResultStore:
         without round-tripping them through result objects."""
         if not records:
             raise ValueError("refusing to write an empty shard")
-        indexes = [index for index, _ in records]
-        name = f"shard-{min(indexes):08d}-{max(indexes):08d}.jsonl.gz"
-        key = f"{_SHARD_DIR}/{name}"
-        buffer = io.BytesIO()
-        with gzip.GzipFile(filename="", mode="wb", fileobj=buffer, mtime=0) as stream:
-            for index, data in records:
-                line = _canonical_line(index, data)
-                stream.write(line.encode("utf-8") + b"\n")
-        self.transport.put(key, buffer.getvalue())
+        key = _shard_key_for(records)
+        self.transport.put(key, _encode_member(records))
         self._index_map = None  # the completed set changed
         return self.transport.locate(key)
 
+    def batched_writer(self, batches_per_shard: int) -> "BatchedShardWriter":
+        """A writer coalescing N finished batches into one shard object."""
+        return BatchedShardWriter(self, batches_per_shard)
+
     # ------------------------------------------------------------- scanning
+
+    def iter_shard_keys(self) -> Iterator[str]:
+        """Stream the shard keys in name (== first-index) order.
+
+        Built on the transport's paginated/streamed listing, so scanning a
+        store with hundreds of thousands of shards never materializes the
+        full key set in this layer (the object store serves bounded pages,
+        POSIX walks a directory scan).
+        """
+        for key in self.transport.list_iter(f"{_SHARD_DIR}/"):
+            if key.rpartition("/")[2].startswith("shard-") and key.endswith(".jsonl.gz"):
+                yield key
 
     def shard_keys(self) -> list[str]:
         """All shard keys, in name (== first-index) order."""
-        return [
-            key
-            for key in self.transport.list(f"{_SHARD_DIR}/")
-            if key.rpartition("/")[2].startswith("shard-") and key.endswith(".jsonl.gz")
-        ]
+        return list(self.iter_shard_keys())
 
     def shard_paths(self) -> list[str]:
         """All shard addresses (paths/URLs), in name (== first-index) order."""
@@ -422,7 +456,7 @@ class ShardedResultStore:
         """
         if self._index_map is None:
             index_map: dict[int, str] = {}
-            for key in self.shard_keys():
+            for key in self.iter_shard_keys():
                 for index in self._shard_indexes(key):
                     index_map[index] = key
             self._index_map = index_map
@@ -488,12 +522,12 @@ class ShardedResultStore:
         cache, so after a completed-index scan this costs one stat per
         shard, not a second decompression pass.
         """
-        return sum(len(self._shard_indexes(key)) for key in self.shard_keys())
+        return sum(len(self._shard_indexes(key)) for key in self.iter_shard_keys())
 
     def compressed_bytes(self) -> int:
         """Total stored size of the shards."""
         total = 0
-        for key in self.shard_keys():
+        for key in self.iter_shard_keys():
             stat = self.transport.stat(key)
             if stat is not None:
                 total += stat.size
@@ -513,6 +547,102 @@ class ShardedResultStore:
             digest.update(_canonical_line(index, data).encode("utf-8"))
             digest.update(b"\n")
         return digest.hexdigest()
+
+
+class BatchedShardWriter:
+    """Coalesces N finished batches into one shard object via transport appends.
+
+    A per-batch PUT makes very large campaigns pay one object (and one
+    listing entry, and one store request) per batch; at paper scale that is
+    the same single-choke-point failure mode the Mutiny paper documents for
+    control planes.  The batched writer keeps the durability of per-batch
+    uploads — every batch still hits the store the moment it completes — but
+    *appends* batches 2..N of a group to the shard object batch 1 created
+    (each batch is a self-contained gzip member; members concatenate into
+    one valid shard stream), so a campaign with ``--shard-batch 8`` stores
+    an eighth of the objects.
+
+    Appends are generation-conditional: the writer extends only the exact
+    object state it last produced.  If the precondition ever fails (the
+    shard was replaced behind our back — e.g. a reclaimed slice re-ran the
+    same indexes), the writer falls back to starting a fresh group with the
+    current batch rather than guessing, and nothing is lost: records are
+    keyed by plan index, and duplicate records are byte-identical by
+    determinism.
+
+    One writer serves one worker's batch loop; it is not thread-safe (each
+    executor/worker process builds its own, exactly like the store's other
+    writers).
+
+    Trade-off to know: every append gives the open shard a new generation,
+    so a poller that scans between appends re-downloads and re-parses the
+    *growing* object (the parse cache keys on generation).  That cost is
+    bounded by N × one shard — keep ``batches_per_shard`` moderate (the
+    4-16 range) and the object-count/listing win dwarfs it; a ranged-read
+    tail parse is the upgrade path if a profile ever says otherwise.
+    """
+
+    def __init__(self, store: ShardedResultStore, batches_per_shard: int):
+        if batches_per_shard < 1:
+            raise ValueError(f"batches_per_shard must be >= 1, got {batches_per_shard}")
+        self.store = store
+        self.batches_per_shard = batches_per_shard
+        self._key: Optional[str] = None
+        self._generation: Optional[str] = None
+        self._batches_in_group = 0
+
+    def write(self, records: list[tuple[int, ExperimentResult]]) -> str:
+        """Persist one finished batch (durable on return); returns the
+        address of the shard object holding it."""
+        return self.write_dicts(
+            [(index, result_to_dict(result)) for index, result in records]
+        )
+
+    def write_dicts(self, records: list[tuple[int, dict]]) -> str:
+        if not records:
+            raise ValueError("refusing to write an empty batch")
+        member = _encode_member(records)
+        transport = self.store.transport
+        if (
+            self._key is not None
+            and self._generation is not None
+            and self._batches_in_group < self.batches_per_shard
+        ):
+            generation = transport.append(self._key, member, self._generation)
+            if generation is not None:
+                self._generation = generation
+                self._batches_in_group += 1
+                self.store._index_map = None  # the completed set changed
+                return transport.locate(self._key)
+            # The open shard changed hands (replaced or removed) — abandon
+            # the group and land this batch in a fresh shard of its own.
+        key = _shard_key_for(records)
+        generation = transport.append(key, member, None)
+        if generation is None:
+            # The key already exists: a predecessor (or a racing replay of
+            # the same slice) stored bytes under this name.  Never blindly
+            # overwrite — the object may hold *more* than this batch, e.g.
+            # later members a lease-losing predecessor appended before it
+            # noticed ("already written shards always survive").  Whatever
+            # is readable there stays readable: if it already covers this
+            # batch, skip the write outright (deterministic results make
+            # the bytes interchangeable); otherwise rewrite the readable
+            # records and this batch together, each index exactly once.
+            existing = dict(self.store._iter_shard_records(key))
+            ours = dict(records)
+            self._key = None
+            self._generation = None
+            self._batches_in_group = 0
+            if not set(ours) <= set(existing):
+                merged = sorted({**existing, **ours}.items())
+                transport.put(key, _encode_member(merged))
+            self.store._index_map = None  # the completed set changed
+            return transport.locate(key)
+        self._key = key
+        self._generation = generation
+        self._batches_in_group = 1
+        self.store._index_map = None  # the completed set changed
+        return transport.locate(key)
 
 
 class StoredResults:

@@ -32,9 +32,21 @@ st_size)`` — so a file atomically replaced with equal-size different content,
 or merely touched by a heartbeat, is a *different* generation.  On the object
 store it is the server-assigned ETag.  Conditional operations
 (:meth:`~ShardTransport.delete_if_unchanged`,
-:meth:`~ShardTransport.refresh`) act only when the caller's token still
-matches, which is how "delete only the exact lease I judged expired" is said
-without ``O_EXCL``.
+:meth:`~ShardTransport.refresh`, :meth:`~ShardTransport.append`) act only
+when the caller's token still matches, which is how "delete only the exact
+lease I judged expired" is said without ``O_EXCL``.
+
+Two operations exist purely for campaign scale:
+
+* :meth:`~ShardTransport.list_iter` streams keys instead of materializing
+  them — the object store pages through ``limit``/``after`` server cursors,
+  POSIX walks ``os.scandir`` — so scanning a store with hundreds of
+  thousands of shards never builds the full key list in any layer.
+* :meth:`~ShardTransport.append` extends an existing object under a
+  generation precondition (a conditional ``PUT ?append=1`` on the object
+  store, a single-writer ``O_APPEND`` write on POSIX), which lets workers
+  coalesce many finished batches into one shard object while keeping every
+  batch durable the moment it completes.
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ import threading
 import urllib.parse
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 
 def fsync_directory(path: str) -> None:
@@ -92,6 +104,19 @@ def _temp_path_for(path: str) -> str:
     return f"{path}.{os.getpid()}.{threading.get_ident()}.{next(_TEMP_COUNTER)}.tmp"
 
 
+def _write_all(fd: int, data: bytes) -> None:
+    """``os.write`` the whole buffer.
+
+    A raw ``os.write`` may return a short count without raising (classic
+    near-ENOSPC behaviour); treating that as success would store a torn
+    payload whose generation looks committed.  Loop until every byte lands —
+    any genuine failure still raises.
+    """
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view) :]
+
+
 def atomic_write_bytes(path: str, data: bytes) -> None:
     """Write-fsync-rename, then fsync the directory, so a completed write is
     both atomic (readers never observe a half-written file) and durable on
@@ -108,6 +133,34 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
 
 #: URL scheme selecting :class:`ObjectStoreTransport`.
 OBJECT_STORE_SCHEME = "objstore"
+
+#: Keys requested per object-store listing page.  Real object stores cap
+#: pages at 1000; matching that keeps the emulated protocol honest.
+DEFAULT_LIST_PAGE_SIZE = 1000
+
+#: Environment override for the listing page size (tests and CI force tiny
+#: pages so pagination is exercised on campaigns of any size).
+LIST_PAGE_ENV = "MUTINY_OBJSTORE_PAGE"
+
+
+def _env_page_size() -> int:
+    raw = os.environ.get(LIST_PAGE_ENV)
+    if raw is None:
+        return DEFAULT_LIST_PAGE_SIZE
+    try:
+        value = int(raw)
+        if value < 1:
+            raise ValueError
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"ignoring malformed {LIST_PAGE_ENV}={raw!r} (expected an integer >= 1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_LIST_PAGE_SIZE
+    return value
 
 
 class TransportError(RuntimeError):
@@ -162,8 +215,23 @@ class ShardTransport(ABC):
         even if the key is concurrently replaced)."""
 
     @abstractmethod
+    def list_iter(self, prefix: str) -> Iterator[str]:
+        """Stream the keys directly under ``prefix``, in sorted order.
+
+        The streaming form of :meth:`list`: keys arrive one at a time (the
+        object store pages through server cursors, POSIX walks a directory
+        scan), so no layer ever holds the full key set of a very large
+        store.  A prefix whose backing directory/bucket does not exist yet
+        yields nothing — callers poll stores that a worker has not populated
+        yet (``inspect``, ``autofederate``), and "empty" is the only useful
+        answer there.  Keys created while the iteration is in flight may or
+        may not appear (they do when they sort after the cursor); keys
+        deleted mid-iteration may still be yielded.
+        """
+
     def list(self, prefix: str) -> list[str]:
         """Sorted keys directly under ``prefix`` (flat, non-recursive)."""
+        return list(self.list_iter(prefix))
 
     @abstractmethod
     def stat(self, key: str) -> Optional[ObjectStat]:
@@ -180,10 +248,35 @@ class ShardTransport(ABC):
         replaced object survives."""
 
     @abstractmethod
-    def refresh(self, key: str, generation: str) -> bool:
+    def refresh(self, key: str, generation: str, expected: Optional[bytes] = None) -> bool:
         """Bump the object's mtime (new generation) iff the given generation
         still matches — the heartbeat primitive.  ``False`` means the object
-        was replaced, refreshed elsewhere, or removed."""
+        was replaced, refreshed elsewhere, or removed.
+
+        ``expected`` is the payload the caller believes the object holds
+        (lease heartbeats read it anyway for the ownership check).  It is
+        only consulted to resolve retry ambiguity on transports that retry
+        over a network: a refresh whose first attempt was applied before its
+        response was lost re-reads the object, and unchanged bytes prove the
+        precondition failure came from racing ourselves (see
+        :meth:`ObjectStoreTransport.refresh`).  Without it, such a refresh
+        conservatively reports the lease as lost.
+        """
+
+    @abstractmethod
+    def append(self, key: str, data: bytes, generation: Optional[str] = None) -> Optional[str]:
+        """Append ``data`` to the object and return its new generation.
+
+        ``generation=None`` creates the object, failing if the key already
+        exists (the put-if-absent of appends); otherwise the append happens
+        only while the object's generation still matches.  ``None`` means
+        the precondition failed — the object was created, replaced, or
+        removed by someone else — and nothing was written.  Appended bytes
+        are durable when the call returns; a reader racing an append sees
+        either the old object or the extended one (POSIX readers may
+        additionally observe a torn tail, which the shard reader's
+        truncation tolerance already absorbs).
+        """
 
     @abstractmethod
     def locate(self, key: str) -> str:
@@ -245,7 +338,7 @@ class PosixTransport(ShardTransport):
         except FileExistsError:
             return False
         try:
-            os.write(fd, data)
+            _write_all(fd, data)
             os.fsync(fd)
         finally:
             os.close(fd)
@@ -269,21 +362,26 @@ class PosixTransport(ShardTransport):
         except FileNotFoundError:
             raise TransportKeyError(key) from None
 
-    def list(self, prefix: str) -> list[str]:
+    def list_iter(self, prefix: str) -> Iterator[str]:
+        # os.scandir carries the file type with each entry (no stat per key,
+        # unlike the historical listdir + isfile walk).  Name order has to be
+        # imposed here — directories enumerate unordered — but only the bare
+        # names are held, never stats or payloads.  A directory that does
+        # not exist yet (a store a worker hasn't populated) yields nothing,
+        # matching the object store's empty-prefix answer.
         directory, _, name_prefix = prefix.rpartition("/")
         base = self._path(directory) if directory else self.root
         try:
-            names = os.listdir(base)
+            with os.scandir(base) as entries:
+                names = [
+                    entry.name
+                    for entry in entries
+                    if entry.name.startswith(name_prefix) and entry.is_file()
+                ]
         except OSError:
-            return []
-        keys = []
-        for name in names:
-            if not name.startswith(name_prefix):
-                continue
-            key = f"{directory}/{name}" if directory else name
-            if os.path.isfile(self._path(key)):
-                keys.append(key)
-        return sorted(keys)
+            return
+        for name in sorted(names):
+            yield f"{directory}/{name}" if directory else name
 
     def stat(self, key: str) -> Optional[ObjectStat]:
         try:
@@ -311,7 +409,9 @@ class PosixTransport(ShardTransport):
             return False
         return True
 
-    def refresh(self, key: str, generation: str) -> bool:
+    def refresh(self, key: str, generation: str, expected: Optional[bytes] = None) -> bool:
+        # POSIX never retries a request, so the retry-ambiguity rule that
+        # ``expected`` feeds on the object store has no counterpart here.
         path = self._path(key)
         try:
             if self._generation(os.stat(path)) != generation:
@@ -320,6 +420,38 @@ class PosixTransport(ShardTransport):
         except OSError:
             return False
         return True
+
+    def append(self, key: str, data: bytes, generation: Optional[str] = None) -> Optional[str]:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        if generation is None:
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                return None
+            try:
+                _write_all(fd, data)
+                os.fsync(fd)
+                stat = os.fstat(fd)
+            finally:
+                os.close(fd)
+            fsync_directory(os.path.dirname(path))
+            return self._generation(stat)
+        # stat-compare-append keeps the same microsecond TOCTOU window as
+        # delete_if_unchanged; shard objects have a single writer (the worker
+        # that owns the batch group), so the window never sees a second
+        # appender, and readers tolerate a torn tail as a truncated shard.
+        try:
+            if self._generation(os.stat(path)) != generation:
+                return None
+            with open(path, "ab") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+                stat = os.fstat(handle.fileno())
+        except OSError:
+            return None
+        return self._generation(stat)
 
     def locate(self, key: str) -> str:
         return self._path(key)
@@ -345,7 +477,7 @@ class ObjectStoreTransport(ShardTransport):
     requests is rebuilt and the request retried once.
     """
 
-    def __init__(self, root: str, timeout: float = 30.0):
+    def __init__(self, root: str, timeout: float = 30.0, page_size: Optional[int] = None):
         self.root = root.rstrip("/")
         parsed = urllib.parse.urlsplit(self.root)
         if parsed.scheme != OBJECT_STORE_SCHEME or not parsed.hostname:
@@ -359,6 +491,8 @@ class ObjectStoreTransport(ShardTransport):
         if not self._bucket:
             raise ValueError(f"object-store root {root!r} names no bucket")
         self._timeout = timeout
+        #: Keys requested per /list page (the server may cap pages further).
+        self.page_size = page_size if page_size is not None else _env_page_size()
         self._local = threading.local()
 
     def _server_key(self, key: str) -> str:
@@ -386,7 +520,9 @@ class ObjectStoreTransport(ShardTransport):
         once.  ``retried`` flags the ambiguous case: the first attempt may
         have been applied server-side before the response was lost, so a
         conditional writer seeing a precondition failure *after a retry*
-        must re-read before concluding it lost (see :meth:`put_if_absent`).
+        must re-read before concluding it lost.  Every conditional operation
+        applies that rule: :meth:`put_if_absent`, :meth:`delete_if_unchanged`,
+        :meth:`refresh`, and :meth:`append`.
         """
         for attempt in (0, 1):
             connection = self._connection()
@@ -462,13 +598,33 @@ class ObjectStoreTransport(ShardTransport):
             raise TransportError(f"object store get of {key!r} failed: {status}")
         return body, self._stat_from_headers(headers, size=len(body))
 
-    def list(self, prefix: str) -> list[str]:
-        query = urllib.parse.urlencode({"prefix": self._server_key(prefix)})
-        status, _, body, _ = self._request("GET", f"/list?{query}")
-        if status != 200:
-            raise TransportError(f"object store list of {prefix!r} failed: {status}")
+    def list_iter(self, prefix: str) -> Iterator[str]:
+        """Page through the listing with ``limit``/``after`` cursors.
+
+        Every page is one bounded request; the cursor is the last key of the
+        previous page, so the server's snapshot-per-page semantics compose
+        into one sorted stream (keys created behind the cursor while paging
+        are missed, keys created ahead of it are included — S3 listing
+        semantics).  The full key set never exists client-side.
+        """
+        server_prefix = self._server_key(prefix)
         scope = len(self._server_key(""))  # strip "bucket/" back off
-        return sorted(key[scope + 1 :] for key in json.loads(body)["keys"])
+        after = ""
+        while True:
+            params = {"prefix": server_prefix, "limit": str(self.page_size)}
+            if after:
+                params["after"] = after
+            query = urllib.parse.urlencode(params)
+            status, _, body, _ = self._request("GET", f"/list?{query}")
+            if status != 200:
+                raise TransportError(f"object store list of {prefix!r} failed: {status}")
+            payload = json.loads(body)
+            keys = payload.get("keys", [])
+            for key in keys:
+                yield key[scope + 1 :]
+            if not payload.get("truncated") or not keys:
+                return
+            after = keys[-1]
 
     def stat(self, key: str) -> Optional[ObjectStat]:
         status, headers, _, _ = self._request("HEAD", self._object_path(key))
@@ -484,27 +640,38 @@ class ObjectStoreTransport(ShardTransport):
             raise TransportError(f"object store delete of {key!r} failed: {status}")
 
     def delete_if_unchanged(self, key: str, generation: str) -> bool:
-        # A retried conditional delete whose first attempt was applied
-        # reports False where True happened; both error paths (reclaim,
-        # release-if-owner) tolerate that — the caller simply doesn't treat
-        # the key as removed, and expiry/put-if-absent recover.
-        status, _, _, _ = self._request(
+        status, _, _, retried = self._request(
             "DELETE", self._object_path(key), headers={"If-Match": generation}
         )
         if status == 204:
             return True
-        if status in (404, 412):
+        if status == 404:
+            if retried:
+                # Ambiguous loss (the put_if_absent rule): the first attempt
+                # may have deleted the object before its response was lost,
+                # in which case the retry's 404 came from racing ourselves.
+                # Re-read before concluding we lost — a still-absent key
+                # means the conditional delete took effect, and reporting
+                # False here made a lease reclaim walk away from a slice it
+                # had in fact freed (handing it to a third claimant while
+                # the second raced for it).  A key that exists again was
+                # re-created afterwards; we must not claim to have removed
+                # what is now someone else's object.
+                try:
+                    return self.stat(key) is None
+                except TransportError:
+                    return False  # outcome unknowable right now: stay conservative
+            return False
+        if status == 412:
+            # The object exists with a different generation: whatever the
+            # first attempt did, it did not remove *this* generation.
             return False
         raise TransportError(
             f"object store conditional delete of {key!r} failed: {status}"
         )
 
-    def refresh(self, key: str, generation: str) -> bool:
-        # Like delete_if_unchanged, an applied-then-retried refresh reports
-        # False; the owner then conservatively treats the lease as lost and
-        # aborts at the next batch boundary — wasted work at worst, since
-        # results are deterministic.
-        status, _, _, _ = self._request(
+    def refresh(self, key: str, generation: str, expected: Optional[bytes] = None) -> bool:
+        status, _, _, retried = self._request(
             "POST",
             self._object_path(key) + "?op=refresh",
             headers={"If-Match": generation},
@@ -512,8 +679,54 @@ class ObjectStoreTransport(ShardTransport):
         if status == 200:
             return True
         if status in (404, 412):
+            if retried and expected is not None:
+                # Ambiguous loss: the first attempt may have refreshed the
+                # lease before its response was lost, making the retry's
+                # precondition failure a race against ourselves.  A refresh
+                # never changes the payload, so re-reading and finding the
+                # caller's bytes intact proves the lease was neither
+                # reclaimed nor replaced — the heartbeat succeeded.  Without
+                # this re-read, one dropped response made the owner wrongly
+                # surrender a slice it still held.  The re-read itself may
+                # fail (the store just proved flaky); that must surface as a
+                # conservative False, not an exception — the heartbeat
+                # thread calling this has no handler, and dying silently
+                # would leave the owner running without an abort signal.
+                try:
+                    return self.get(key) == expected
+                except (TransportKeyError, TransportError):
+                    return False
             return False
         raise TransportError(f"object store refresh of {key!r} failed: {status}")
+
+    def append(self, key: str, data: bytes, generation: Optional[str] = None) -> Optional[str]:
+        headers = (
+            {"If-None-Match": "*"} if generation is None else {"If-Match": generation}
+        )
+        status, response_headers, body, retried = self._request(
+            "PUT", self._object_path(key) + "?append=1", body=data, headers=headers
+        )
+        if status == 200:
+            return response_headers.get("etag", "")
+        if status == 412:
+            if retried:
+                # Ambiguous loss: the first attempt may have appended before
+                # its response was lost.  The shard writer is the object's
+                # only appender, so "the object now ends with our bytes"
+                # (or, for a create, *is* our bytes) identifies our own
+                # applied write; concluding False here would re-append the
+                # batch and double its records in the store.
+                try:
+                    current, stat = self.get_with_stat(key)
+                except TransportKeyError:
+                    return None
+                if generation is None:
+                    return stat.generation if current == data else None
+                return stat.generation if current.endswith(data) else None
+            return None
+        raise TransportError(
+            f"object store rejected append to {key!r}: {status} {body[:200]!r}"
+        )
 
     def locate(self, key: str) -> str:
         return f"{self.root}/{key}"

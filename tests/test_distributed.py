@@ -659,3 +659,117 @@ def test_cli_inspect_reports_provenance_and_outstanding_leases(
     with open(json_path, encoding="utf-8") as handle:
         payload = json.load(handle)
     assert payload["stored_records"] == 0  # no shards in this toy store
+
+
+# ------------------------------------- paginated + batched object-store runs
+
+
+def test_paginated_batched_objectstore_campaign_matches_serial(
+    serial_reference, tmp_path
+):
+    """The scale acceptance bar: a distributed campaign over an object store
+    that forces limit=2 listing pages, executed by --shard-batch 4 workers,
+    still produces a store digest byte-identical to the serial POSIX run,
+    with zero lost and zero replayed experiments — while storing fewer
+    shard objects than batches."""
+    from repro.core.objstore import LocalObjectStore
+
+    serial_root, serial_result = serial_reference
+    total = serial_result.total_experiments()
+    config = _tiny_config(shard_batch=4)
+    server = LocalObjectStore(("127.0.0.1", 0), max_page=2).start()
+    try:
+        root = f"{server.url}/dist"
+        outcome: dict = {}
+
+        def coordinate() -> None:
+            try:
+                outcome["result"] = Campaign(config).run(
+                    results_dir=root,
+                    backend="distributed",
+                    distributed=DistributedSettings(
+                        slice_size=2, poll_interval=0.05, timeout=600
+                    ),
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                outcome["error"] = error
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        deadline = time.monotonic() + 300
+        while load_plan(root) is None:
+            assert "error" not in outcome, f"coordinator failed: {outcome.get('error')}"
+            assert time.monotonic() < deadline, "coordinator never published the plan"
+            time.sleep(0.05)
+
+        worker = DistributedWorker(
+            root,
+            worker_id="w1",
+            shard_batch=4,
+            poll_interval=0.05,
+            lease_ttl=30.0,
+            wait_timeout=60,
+        )
+        worker_thread = threading.Thread(target=worker.run)
+        worker_thread.start()
+        worker_thread.join()
+        coordinator.join()
+        assert "error" not in outcome, f"coordinator failed: {outcome.get('error')}"
+
+        store = ShardedResultStore(root)
+        assert store.results_digest() == ShardedResultStore(serial_root).results_digest()
+        assert store.record_count() == total
+        assert store.stored_record_count() == total  # appends duplicated nothing
+        # chunk_size=1 makes every experiment its own batch (6 of them), and
+        # the single worker's shard group spans its slices, so exactly
+        # ceil(6/4) shard objects exist — the full configured coalescing.
+        assert len(store.shard_keys()) == -(-total // 4)
+        assert outcome["result"].classification_counts() == (
+            serial_result.classification_counts()
+        )
+    finally:
+        server.stop()
+
+
+# ------------------------------------------------- CLI flag validation
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["campaign", "--slice-size", "0"],
+        ["campaign", "--poll-interval", "0"],
+        ["campaign", "--coordinator-timeout", "-5"],
+        ["campaign", "--shard-batch", "0"],
+        ["worker", "--results-dir", "x", "--shard-batch", "-1"],
+        ["worker", "--results-dir", "x", "--poll-interval", "0"],
+        ["worker", "--results-dir", "x", "--lease-ttl", "0"],
+        ["autofederate", "dest", "src", "--poll-interval", "0"],
+        ["autofederate", "dest", "src", "--timeout", "0"],
+    ],
+)
+def test_cli_rejects_non_positive_tuning_flags_naming_them(argv, capsys):
+    """A non-positive slice size, poll interval, timeout, or shard batch
+    used to range from a silent busy-loop to a ZeroDivisionError deep in the
+    worker; the CLI must reject each one up front, naming the flag."""
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert argv[-2] in err  # the offending flag is named
+    assert "invalid value" in err
+
+
+def test_published_plan_carries_shard_batch_to_inheriting_workers(tmp_path):
+    # campaign --shard-batch N publishes the coalescing factor with the
+    # plan; a worker that sets no --shard-batch of its own inherits it
+    # (silently ignoring the coordinator's flag was the old behavior).
+    root = str(tmp_path)
+    plan = _toy_plan()
+    plan.shard_batch = 5
+    publish_plan(root, plan)
+    assert load_plan(root).shard_batch == 5
+    worker = DistributedWorker(root, worker_id="w", wait_timeout=5)
+    assert worker.shard_batch is None  # None = inherit from the plan

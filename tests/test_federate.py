@@ -11,11 +11,14 @@ object-store destination and vice versa.
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 import pytest
 
 from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.federate import federate_stores
+from repro.core.distributed import DistributedTimeoutError
+from repro.core.federate import autofederate_stores, federate_stores
 from repro.core.objstore import LocalObjectStore
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
 from repro.workloads.workload import WorkloadKind
@@ -199,6 +202,137 @@ def test_federation_mixes_transports(serial_store, tmp_path):
         )
     finally:
         server.stop()
+
+
+# ----------------------------------------------------------- auto-federation
+
+
+def test_autofederate_watches_sources_into_existence(serial_store, tmp_path):
+    # The coordinator mode: the watch starts before either source store
+    # exists, the sources appear and fill incrementally (one POSIX, one
+    # object store), and the destination ends byte-identical to the serial
+    # run the moment the full plan is covered.
+    serial_root, result = serial_store
+    total = result.total_experiments()
+    reference = ShardedResultStore(serial_root)
+    server = LocalObjectStore(("127.0.0.1", 0), max_page=2).start()
+    try:
+        src_a = f"{server.url}/half-a"
+        src_b = str(tmp_path / "half-b")
+        dest = str(tmp_path / "merged")
+        outcome: dict = {}
+
+        def watch() -> None:
+            try:
+                outcome["report"] = autofederate_stores(
+                    dest, [src_a, src_b], poll_interval=0.05, timeout=120
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                outcome["error"] = error
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        time.sleep(0.2)  # a few rounds of polling nothing
+        manifest = reference.manifest()
+        for root, low, high in ((src_a, 0, total // 2), (src_b, total // 2, total)):
+            source = ShardedResultStore(root)
+            source.open(manifest["fingerprint"], manifest["total"])
+            source.transport.put("prep.pkl", reference.transport.get("prep.pkl"))
+            for index in range(low, high):
+                source.write_shard_dicts([(index, reference.load_record(index))])
+                time.sleep(0.05)
+        watcher.join(timeout=120)
+        assert not watcher.is_alive(), "autofederate never finished"
+        assert "error" not in outcome, f"autofederate failed: {outcome.get('error')}"
+
+        report = outcome["report"]
+        assert report.merged_records == total
+        assert report.initial_records == 0
+        assert report.rounds > 1  # genuinely incremental, not one big merge
+        merged = ShardedResultStore(dest)
+        assert merged.results_digest() == reference.results_digest()
+        assert merged.record_count() == total
+        assert merged.stored_record_count() == total  # nothing folded twice
+        assert merged.transport.stat("prep.pkl") is not None  # prep carried over
+
+        # Re-watching complete sources is an incremental no-op.
+        again = autofederate_stores(dest, [src_a, src_b], poll_interval=0.05, timeout=60)
+        assert again.merged_records == 0
+        assert again.initial_records == total
+        assert ShardedResultStore(dest).stored_record_count() == total
+    finally:
+        server.stop()
+
+
+def test_autofederate_rejects_a_foreign_source(tmp_path):
+    good = ShardedResultStore(str(tmp_path / "good"))
+    good.open("fingerprint-a", total=2)
+    bad = ShardedResultStore(str(tmp_path / "bad"))
+    bad.open("fingerprint-b", total=2)
+    with pytest.raises(ResultStoreMismatchError):
+        autofederate_stores(
+            str(tmp_path / "dest"),
+            [good.root, bad.root],
+            poll_interval=0.05,
+            timeout=30,
+        )
+
+
+def test_autofederate_times_out_when_sources_never_complete(tmp_path):
+    with pytest.raises(DistributedTimeoutError) as excinfo:
+        autofederate_stores(
+            str(tmp_path / "dest"),
+            [str(tmp_path / "never-appears")],
+            poll_interval=0.05,
+            timeout=0.3,
+        )
+    assert "0 of 1 source store(s) seen" in str(excinfo.value)
+    with pytest.raises(ValueError):
+        autofederate_stores(str(tmp_path / "dest"), [])
+
+
+def test_cli_autofederate_matches_serial_json(serial_store, tmp_path, capsys):
+    from repro.cli import main
+
+    serial_root, result = serial_store
+    total = result.total_experiments()
+    half_a = _split_store(serial_root, str(tmp_path / "a"), set(range(0, total // 2)))
+    half_b = _split_store(serial_root, str(tmp_path / "b"), set(range(total // 2, total)))
+    dest = str(tmp_path / "merged")
+
+    assert main(["autofederate", dest, half_a, half_b, "--timeout", "120", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "Auto-federation complete" in out
+    assert f"records folded     : {total}" in out
+
+    serial_json = str(tmp_path / "serial.json")
+    merged_json = str(tmp_path / "merged.json")
+    assert main(["inspect", serial_root, "--json", serial_json]) == 0
+    assert main(["inspect", dest, "--json", merged_json]) == 0
+    with open(serial_json, encoding="utf-8") as handle:
+        serial_payload = json.load(handle)
+    with open(merged_json, encoding="utf-8") as handle:
+        merged_payload = json.load(handle)
+    assert merged_payload == serial_payload
+
+
+def test_cli_autofederate_reports_timeout_as_error(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "autofederate",
+            str(tmp_path / "dest"),
+            str(tmp_path / "never"),
+            "--poll-interval",
+            "0.05",
+            "--timeout",
+            "0.3",
+            "--quiet",
+        ]
+    )
+    assert code == 2
+    assert "autofederate incomplete" in capsys.readouterr().err
 
 
 # --------------------------------------------------------------------- CLI

@@ -535,3 +535,120 @@ def test_cli_names_bad_count_values(capsys):
         err = capsys.readouterr().err
         assert "invalid value" in err
         assert flags[1] in err
+
+
+# ------------------------------------------------------ batched shard upload
+
+
+def test_batched_writer_coalesces_batches_into_one_shard(tmp_path):
+    store = ShardedResultStore(str(tmp_path))
+    store.open("fp", total=8)
+    writer = store.batched_writer(3)
+    for start in (0, 2, 4):
+        writer.write([(start, _full_result(start)), (start + 1, _full_result(start + 1))])
+    assert len(store.shard_keys()) == 1  # three batches, one object
+    # The fourth batch starts a fresh group.
+    writer.write([(6, _full_result(6)), (7, _full_result(7))])
+    assert len(store.shard_keys()) == 2
+
+    # A fresh store instance (another process) reads every record exactly
+    # once; concatenated gzip members decompress as one stream.
+    again = ShardedResultStore(str(tmp_path))
+    assert again.record_count() == 8
+    assert again.stored_record_count() == 8
+    for index in range(8):
+        assert again.load_result(index) == _full_result(index)
+
+
+def test_batched_and_per_batch_layouts_share_the_digest(tmp_path):
+    records = [(index, _full_result(index)) for index in range(6)]
+    per_batch = ShardedResultStore(str(tmp_path / "per-batch"))
+    per_batch.open("fp", total=6)
+    for index, result in records:
+        per_batch.write_shard([(index, result)])
+    batched = ShardedResultStore(str(tmp_path / "batched"))
+    batched.open("fp", total=6)
+    writer = batched.batched_writer(4)
+    for index, result in records:
+        writer.write([(index, result)])
+    assert len(batched.shard_keys()) < len(per_batch.shard_keys())
+    assert batched.results_digest() == per_batch.results_digest()
+
+
+def test_batched_writer_truncated_tail_keeps_earlier_members(tmp_path):
+    # A shard whose last appended member is torn (the worker died mid-append)
+    # must still yield every earlier batch: members are self-contained.
+    store = ShardedResultStore(str(tmp_path))
+    store.open("fp", total=6)
+    writer = store.batched_writer(3)
+    for start in (0, 2, 4):
+        writer.write([(start, _full_result(start)), (start + 1, _full_result(start + 1))])
+    (key,) = store.shard_keys()
+    payload = store.transport.get(key)
+    store.transport.put(key, payload[:-20])  # tear into the last member
+    fresh = ShardedResultStore(str(tmp_path))
+    completed = set(fresh.completed_indexes())
+    assert {0, 1, 2, 3} <= completed
+    assert completed < set(range(6))
+    for index in sorted(completed):
+        assert fresh.load_result(index) == _full_result(index)
+
+
+def test_batched_writer_never_destroys_a_predecessors_later_members(tmp_path):
+    # A lease-losing worker may have appended *more* batches to the shard
+    # this batch's name points at ("already written shards always survive").
+    # A replaying successor that finds the key taken must keep every record
+    # readable there — skipping its own write when the batch is already
+    # covered — never overwrite the object down to its own batch.
+    store = ShardedResultStore(str(tmp_path))
+    store.open("fp", total=4)
+    predecessor = store.batched_writer(4)
+    predecessor.write([(0, _full_result(0)), (1, _full_result(1))])
+    predecessor.write([(2, _full_result(2)), (3, _full_result(3))])  # appended
+
+    replayer = ShardedResultStore(str(tmp_path)).batched_writer(4)
+    replayer.write([(0, _full_result(0)), (1, _full_result(1))])  # stale pending
+
+    fresh = ShardedResultStore(str(tmp_path))
+    assert fresh.record_count() == 4  # records 2-3 survived the replay
+    assert fresh.stored_record_count() == 4  # and nothing was duplicated
+    for index in range(4):
+        assert fresh.load_result(index) == _full_result(index)
+
+
+def test_batched_writer_replaces_a_fully_torn_namesake(tmp_path):
+    # The legitimate overwrite case: the existing object's readable prefix
+    # does not cover this batch (a predecessor died mid-create), so the
+    # readable records and the batch are rewritten together, each index once.
+    store = ShardedResultStore(str(tmp_path))
+    store.open("fp", total=2)
+    writer = store.batched_writer(4)
+    writer.write([(0, _full_result(0)), (1, _full_result(1))])
+    (key,) = store.shard_keys()
+    payload = store.transport.get(key)
+    store.transport.put(key, payload[: len(payload) // 2])  # torn mid-create
+
+    replayer = ShardedResultStore(str(tmp_path)).batched_writer(4)
+    replayer.write([(0, _full_result(0)), (1, _full_result(1))])
+    fresh = ShardedResultStore(str(tmp_path))
+    assert fresh.record_count() == 2
+    assert fresh.stored_record_count() == 2
+    for index in range(2):
+        assert fresh.load_result(index) == _full_result(index)
+
+
+def test_batched_writer_abandons_a_replaced_shard_group(tmp_path):
+    # If the open shard changes hands (a reclaimed slice re-ran the same
+    # indexes), the writer must not append to the impostor — it starts a
+    # fresh shard and no record is lost or duplicated.
+    store = ShardedResultStore(str(tmp_path))
+    store.open("fp", total=4)
+    writer = store.batched_writer(10)
+    writer.write([(0, _full_result(0)), (1, _full_result(1))])
+    (key,) = store.shard_keys()
+    store.transport.put(key, store.transport.get(key))  # replaced: new generation
+    writer.write([(2, _full_result(2)), (3, _full_result(3))])
+    fresh = ShardedResultStore(str(tmp_path))
+    assert fresh.record_count() == 4
+    assert fresh.stored_record_count() == 4
+    assert len(fresh.shard_keys()) == 2

@@ -12,6 +12,7 @@ transport layer existed resume unchanged.
 
 from __future__ import annotations
 
+import http.client
 import itertools
 import os
 import threading
@@ -22,6 +23,7 @@ from repro.core.distributed import SliceLeases
 from repro.core.objstore import LocalObjectStore
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
 from repro.core.transport import (
+    LIST_PAGE_ENV,
     ObjectStoreTransport,
     PosixTransport,
     TransportKeyError,
@@ -162,6 +164,48 @@ def test_list_is_flat_prefix_scoped_and_sorted(backend):
     assert transport.list("empty/") == []
 
 
+def test_list_iter_streams_the_same_keys_as_list(backend):
+    transport = backend.transport
+    for name in ("c", "a", "b"):
+        transport.put(f"iter/{name}", b"x")
+    assert list(transport.list_iter("iter/")) == ["iter/a", "iter/b", "iter/c"]
+    assert list(transport.list_iter("iter/")) == transport.list("iter/")
+
+
+def test_listing_an_unpopulated_store_is_empty_not_an_error(backend):
+    # A coordinator (`inspect`, `autofederate`) polls stores whose worker
+    # hasn't created anything yet — the backing directory/bucket does not
+    # exist at all.  Both backends must answer "empty", never raise.
+    transport = backend.transport
+    assert transport.list("shards/") == []
+    assert list(transport.list_iter("shards/")) == []
+    store = ShardedResultStore(backend.root)
+    assert store.shard_keys() == []
+    assert store.completed_indexes() == {}
+    assert store.stored_record_count() == 0
+
+
+def test_append_contract(backend):
+    transport = backend.transport
+    # generation=None is the put-if-absent of appends: exactly one creator.
+    first = transport.append("ap/obj", b"one", None)
+    assert first is not None
+    assert transport.get("ap/obj") == b"one"
+    assert transport.append("ap/obj", b"x", None) is None  # already exists
+    assert transport.get("ap/obj") == b"one"
+    # A matching generation extends; the returned token is the new state.
+    second = transport.append("ap/obj", b"two", first)
+    assert second is not None and second != first
+    assert transport.get("ap/obj") == b"onetwo"
+    assert transport.stat("ap/obj").generation == second
+    # A stale generation writes nothing.
+    assert transport.append("ap/obj", b"three", first) is None
+    assert transport.get("ap/obj") == b"onetwo"
+    # An absent key with a generation precondition writes nothing.
+    assert transport.append("ap/missing", b"x", first) is None
+    assert transport.stat("ap/missing") is None
+
+
 def test_delete_is_idempotent_and_conditional_delete_respects_generation(backend):
     transport = backend.transport
     transport.put("d/obj", b"x")
@@ -189,6 +233,251 @@ def test_refresh_bumps_mtime_only_under_matching_generation(backend):
     assert refreshed.generation != current
     assert transport.refresh("r/obj", current) is False  # stale token
     assert transport.refresh("r/missing", current) is False
+
+
+# ------------------------------------------------------ listing pagination
+
+
+def test_paginated_listing_covers_every_boundary(objstore_server):
+    # Page size 1, a page exactly equal to the key count, and pages larger
+    # than the key count must all stream the identical sorted key set.
+    root = f"{objstore_server.url}/page-{next(_BUCKETS)}"
+    seed = ObjectStoreTransport(root)
+    keys = [f"s/k{i:02d}" for i in range(5)]
+    for key in keys:
+        seed.put(key, b"x")
+    for page_size in (1, 2, 5, 7):
+        transport = ObjectStoreTransport(root, page_size=page_size)
+        assert transport.list("s/") == keys
+        assert list(transport.list_iter("s/")) == keys
+
+
+def test_keys_added_between_pages_follow_cursor_semantics(objstore_server):
+    # S3 listing semantics: a key created behind the cursor while paging is
+    # missed by *this* iteration, a key created ahead of it is included.
+    root = f"{objstore_server.url}/cursor-{next(_BUCKETS)}"
+    transport = ObjectStoreTransport(root, page_size=2)
+    for i in range(4):
+        transport.put(f"s/k{i}0", b"x")
+    stream = transport.list_iter("s/")
+    assert [next(stream), next(stream)] == ["s/k00", "s/k10"]  # page 1 served
+    transport.put("s/k05", b"x")  # behind the cursor: missed
+    transport.put("s/k90", b"x")  # ahead of the cursor: included
+    assert list(stream) == ["s/k20", "s/k30", "s/k90"]
+    # A fresh iteration sees the full current key set.
+    assert transport.list("s/") == ["s/k00", "s/k05", "s/k10", "s/k20", "s/k30", "s/k90"]
+
+
+def test_server_side_max_page_caps_even_greedy_clients():
+    # A server configured with --max-page never produces an unbounded
+    # listing response, whatever limit the client asked for — and clients
+    # page through transparently.
+    server = LocalObjectStore(("127.0.0.1", 0), max_page=2).start()
+    try:
+        transport = ObjectStoreTransport(f"{server.url}/b")  # default page size
+        keys = [f"s/k{i}" for i in range(5)]
+        for key in keys:
+            transport.put(key, b"x")
+        page, truncated = server.list_keys("b/s/")
+        assert len(page) == 2 and truncated  # the raw protocol is capped
+        assert transport.list("s/") == keys  # the client still sees it all
+    finally:
+        server.stop()
+
+
+def test_page_size_env_override(monkeypatch):
+    monkeypatch.setenv(LIST_PAGE_ENV, "3")
+    assert ObjectStoreTransport("objstore://127.0.0.1:1/b").page_size == 3
+    monkeypatch.setenv(LIST_PAGE_ENV, "bogus")
+    with pytest.warns(RuntimeWarning):
+        transport = ObjectStoreTransport("objstore://127.0.0.1:1/b")
+    assert transport.page_size == 1000
+    monkeypatch.delenv(LIST_PAGE_ENV)
+    assert ObjectStoreTransport("objstore://127.0.0.1:1/b", page_size=7).page_size == 7
+
+
+def test_campaign_digest_with_forced_pagination_matches_unpaginated(tmp_path):
+    # The acceptance bar for pagination: a store-backed campaign run against
+    # a server that forces limit=2 listing pages produces a digest
+    # byte-identical to the unpaginated POSIX run of the same configuration.
+    from repro.core.campaign import Campaign, CampaignConfig
+    from repro.workloads.workload import WorkloadKind
+
+    config = dict(
+        workloads=(WorkloadKind.DEPLOY,),
+        golden_runs=1,
+        max_experiments_per_workload=4,
+        seed=3,
+        workers=1,
+        chunk_size=2,
+    )
+    plain_root = str(tmp_path / "plain")
+    Campaign(CampaignConfig(**config)).run(results_dir=plain_root)
+    server = LocalObjectStore(("127.0.0.1", 0), max_page=2).start()
+    try:
+        paged_root = f"{server.url}/paged"
+        Campaign(CampaignConfig(**config)).run(results_dir=paged_root)
+        paged = ShardedResultStore(paged_root)
+        plain = ShardedResultStore(plain_root)
+        assert paged.results_digest() == plain.results_digest()
+        assert paged.record_count() == plain.record_count()
+        assert paged.stored_record_count() == plain.stored_record_count()
+    finally:
+        server.stop()
+
+
+# --------------------------------------- conditional ops under lost responses
+
+
+class _DroppingTransport(ObjectStoreTransport):
+    """Fault injection: lose the response of a chosen request *after* the
+    server has applied it — the flaky-connection case the retry-ambiguity
+    rules exist for.  ``drop_when(method, path)`` selects the one request
+    whose response to drop (auto-cleared after firing); ``fail_when`` drops
+    *every* matching response, simulating an endpoint that stays down."""
+
+    def __init__(self, root: str):
+        super().__init__(root)
+        self.drop_when = None
+        self.fail_when = None
+
+    def _connection(self):
+        real = super()._connection()
+        transport = self
+
+        class _Proxy:
+            def __init__(self):
+                self._pending = None
+
+            def request(self, method, path, *args, **kwargs):
+                self._pending = (method, path)
+                return real.request(method, path, *args, **kwargs)
+
+            def getresponse(self):
+                response = real.getresponse()  # the server has acted by now
+                drop = transport.drop_when
+                if drop is not None and self._pending and drop(*self._pending):
+                    transport.drop_when = None
+                    response.read()  # drain, then lose it
+                    raise http.client.HTTPException("injected: response dropped")
+                fail = transport.fail_when
+                if fail is not None and self._pending and fail(*self._pending):
+                    response.read()
+                    raise http.client.HTTPException("injected: endpoint down")
+                return response
+
+            def close(self):
+                real.close()
+
+        return _Proxy()
+
+
+def _drop_refresh(method, path):
+    return method == "POST" and "op=refresh" in path
+
+
+def test_retried_refresh_does_not_wrongly_surrender(objstore_server):
+    # The bug: a heartbeat whose first attempt applied but whose response
+    # was lost saw 412 on the retry and concluded the lease was gone, making
+    # the owner surrender a slice it still held.
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    transport.put("lease", b"owner-a")
+    generation = transport.stat("lease").generation
+    transport.drop_when = _drop_refresh
+    assert transport.refresh("lease", generation, expected=b"owner-a") is True
+    assert transport.stat("lease").generation != generation  # applied exactly once
+
+
+def test_retried_refresh_still_reports_a_genuinely_lost_lease(objstore_server):
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    transport.put("lease", b"owner-a")
+    generation = transport.stat("lease").generation
+    transport.put("lease", b"owner-b")  # reclaimed by someone else
+    transport.drop_when = _drop_refresh
+    assert transport.refresh("lease", generation, expected=b"owner-a") is False
+    # Without an expected payload the ambiguous case stays conservative:
+    # the refresh applied (new generation), but the transport cannot prove
+    # it was ours, so it reports the lease as lost.
+    current = transport.stat("lease").generation
+    transport.drop_when = _drop_refresh
+    assert transport.refresh("lease", current) is False
+    assert transport.stat("lease").generation != current  # ... yet it applied
+
+
+def test_ambiguity_reread_failure_degrades_to_loss_not_a_crash(objstore_server):
+    # If the store stays flaky through the ambiguity re-read itself, the
+    # conditional op must answer a conservative False — an exception here
+    # would escape into the worker's heartbeat thread, which has no handler,
+    # and silently kill the abort signal while the slice keeps running.
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    transport.put("lease", b"owner-a")
+    generation = transport.stat("lease").generation
+    transport.drop_when = _drop_refresh
+    transport.fail_when = lambda method, path: method == "GET" and path.startswith("/k/")
+    assert transport.refresh("lease", generation, expected=b"owner-a") is False
+    transport.fail_when = None
+
+    generation = transport.stat("lease").generation
+    transport.drop_when = lambda method, path: method == "DELETE"
+    transport.fail_when = lambda method, path: method == "HEAD"
+    assert transport.delete_if_unchanged("lease", generation) is False
+    transport.fail_when = None
+
+
+def test_retried_conditional_delete_recognizes_its_own_success(objstore_server):
+    # The bug: a reclaim whose conditional delete applied but lost its
+    # response concluded False from the retry's 404 — "the lease I freed is
+    # still someone else's" — even though the slice was in fact freed.
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    transport.put("lease", b"owner-a")
+    generation = transport.stat("lease").generation
+    transport.drop_when = lambda method, path: method == "DELETE"
+    assert transport.delete_if_unchanged("lease", generation) is True
+    assert transport.stat("lease") is None
+
+
+def test_retried_conditional_delete_keeps_precondition_failures(objstore_server):
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    transport.put("lease", b"owner-a")
+    stale = transport.stat("lease").generation
+    transport.put("lease", b"owner-b")  # the generation we hold is stale
+    transport.drop_when = lambda method, path: method == "DELETE"
+    assert transport.delete_if_unchanged("lease", stale) is False
+    assert transport.get("lease") == b"owner-b"  # the new owner survived
+
+
+def test_retried_append_does_not_duplicate_the_batch(objstore_server):
+    # An append whose first attempt applied must not be re-applied by the
+    # ambiguity rule: duplicated members would double the batch's records.
+    transport = _DroppingTransport(f"{objstore_server.url}/retry-{next(_BUCKETS)}")
+    first = transport.append("shard", b"alpha|", None)
+    transport.drop_when = lambda method, path: "append=1" in path
+    second = transport.append("shard", b"beta|", first)
+    assert second is not None
+    assert transport.get("shard") == b"alpha|beta|"
+    # And a dropped *create* resolves the same way.
+    transport.drop_when = lambda method, path: "append=1" in path
+    created = transport.append("shard2", b"solo", None)
+    assert created is not None
+    assert transport.get("shard2") == b"solo"
+
+
+def test_heartbeat_survives_a_dropped_refresh_response(objstore_server):
+    # End to end through the lease layer: a worker whose heartbeat response
+    # is lost must keep its lease, not surrender the slice.
+    root = f"{objstore_server.url}/retry-{next(_BUCKETS)}"
+    leases = SliceLeases(root, ttl=30.0)
+    transport = _DroppingTransport(root)
+    leases.transport = transport
+    assert leases.try_claim(0, "worker-a")
+    transport.drop_when = _drop_refresh
+    assert leases.heartbeat(0, "worker-a") is True
+    assert leases.lease_info(0).worker == "worker-a"
+    # A genuinely reclaimed lease still reads as lost.
+    leases.release(0)
+    assert leases.try_claim(0, "worker-b")
+    transport.drop_when = _drop_refresh
+    assert leases.heartbeat(0, "worker-a") is False
 
 
 # ------------------------------------------------- store over any backend
