@@ -20,6 +20,7 @@ propagates differently from corrupting the transaction (paper §V-C1).
 
 from __future__ import annotations
 
+import marshal
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -37,12 +38,15 @@ from repro.etcd.raft import QuorumLost, RaftGroup
 from repro.etcd.store import EtcdStore, EventType, StoreQuotaExceeded
 from repro.objects.meta import deep_copy
 from repro.objects.selectors import labels_subset
-from repro.serialization import DecodeError, decode, encode
+from repro.serialization import DecodeError, compile_path, decode_shared, encode
 from repro.sim.engine import Simulation
 
 #: Delay between a successful write and the delivery of watch notifications,
 #: modelling the propagation latency of the watch channel.
 WATCH_DELIVERY_DELAY = 0.05
+
+#: Sentinel for field-selector misses; distinct from every storable value.
+_FIELD_MISSING = object()
 
 
 @dataclass
@@ -98,6 +102,22 @@ class APIServer:
         self.request_log: list[RequestRecord] = []
         self.events: list[dict] = []
         self._cache: dict[str, dict] = {}
+        #: Snapshot cache for ``list``: (prefix, selector) → (store revision,
+        #: marshalled result list).  A snapshot is valid while no write has
+        #: touched the listed kind since it was taken (``_kind_write_revs``),
+        #: and a hit turns the per-object Python deep copy into one C-level
+        #: ``marshal.loads``.
+        self._list_cache: dict[tuple, tuple[int, bytes]] = {}
+        #: Marshalled form of individual ``_cache`` entries, lazily built on
+        #: ``get`` and dropped whenever the entry changes: repeated point
+        #: reads of an unchanged object cost one ``marshal.loads`` instead of
+        #: a Python deep copy.
+        self._obj_blobs: dict[str, bytes] = {}
+        #: Store revision of the last write observed per kind, maintained by
+        #: the store watch; the snapshot validity check above compares
+        #: against this instead of the global revision so that, e.g., Pod
+        #: status churn does not invalidate Node or Service snapshots.
+        self._kind_write_revs: dict[str, int] = {}
         self._watch_handlers: dict[str, list[WatchHandler]] = {}
         self._etcd_write_hook: Optional[EtcdWriteHook] = None
         self._store_watch_id = self.store.watch("/registry/", self._on_store_event)
@@ -128,6 +148,9 @@ class APIServer:
     def restart(self) -> None:
         """Restart the Apiserver: the watch cache is dropped and rebuilt lazily."""
         self._cache.clear()
+        self._list_cache.clear()
+        self._obj_blobs.clear()
+        self._kind_write_revs.clear()
         self.restart_count += 1
         self.record_event("ApiserverRestart", "apiserver restarted, cache dropped")
 
@@ -145,19 +168,43 @@ class APIServer:
         """Update only the status of a resource instance (no generation bump)."""
         return self._write(kind, obj, operation="status", actor=actor)
 
-    def get(self, kind: str, name: str, namespace: Optional[str] = "default") -> dict:
-        """Fetch a resource instance; raises NotFoundError if absent or undecodable."""
+    def get(
+        self, kind: str, name: str, namespace: Optional[str] = "default", copy: bool = True
+    ) -> dict:
+        """Fetch a resource instance; raises NotFoundError if absent or undecodable.
+
+        With ``copy=False`` the caller receives a reference into the watch
+        cache and must treat it as **read-only** — the informer contract of
+        real Kubernetes (objects from a shared informer cache must never be
+        mutated).  Cache entries are replaced wholesale on writes, never
+        mutated in place, so a held reference is a consistent snapshot.
+        """
         self._check_readable()
         key = self._key(kind, namespace, name)
         if self.serve_from_cache and key in self._cache:
-            return deep_copy(self._cache[key])
+            if not copy:
+                return self._cache[key]
+            blobs = self._obj_blobs
+            blob = blobs.get(key)
+            if blob is None:
+                try:
+                    blob = marshal.dumps(self._cache[key])
+                except ValueError:
+                    return deep_copy(self._cache[key])
+                if len(blobs) >= 4096:
+                    blobs.clear()
+                blobs[key] = blob
+            return marshal.loads(blob)
         entry = self.store.get(key)
         if entry is None:
             raise NotFoundError(f"{kind} {namespace}/{name} not found")
         obj = self._decode_or_purge(key, entry.value)
         if obj is None:
             raise NotFoundError(f"{kind} {namespace}/{name} was undecodable and has been deleted")
-        self._cache[key] = deep_copy(obj)
+        self._cache[key] = obj
+        self._obj_blobs.pop(key, None)
+        if not copy:
+            return obj
         return deep_copy(obj)
 
     def list(
@@ -165,13 +212,47 @@ class APIServer:
         kind: str,
         namespace: Optional[str] = None,
         label_selector: Optional[dict[str, str]] = None,
+        field_selector: Optional[dict[str, object]] = None,
+        copy: bool = True,
     ) -> list[dict]:
-        """List resource instances, optionally filtered by namespace and labels."""
+        """List resource instances, filtered by namespace, labels and fields.
+
+        ``field_selector`` maps dotted field paths to required values, as in
+        Kubernetes' ``spec.nodeName=worker-1``; an object whose path is
+        missing (or whose intermediate node is corrupted into a scalar) does
+        not match.
+
+        With ``copy=False`` the returned objects are references into the
+        watch cache and must be treated as **read-only** (the informer
+        contract); the list itself is always the caller's own.
+        """
         self._check_readable()
         prefix = storage_prefix(kind)
         if namespace and is_namespaced(kind):
             prefix = f"{prefix}{namespace}/"
-        results = []
+        fields = (
+            [(compile_path(path), value) for path, value in sorted(field_selector.items())]
+            if field_selector
+            else None
+        )
+        snapshot_key = None
+        if self.serve_from_cache:
+            # Serve a marshalled snapshot while no write has touched this
+            # kind.  The result is a pure function of store state (cache
+            # entries are the decoded store values), so the per-kind write
+            # revision is a sound key; ``loads`` hands every caller an
+            # independent tree.
+            snapshot_key = (
+                prefix,
+                tuple(sorted(label_selector.items())) if label_selector else None,
+                tuple(sorted(field_selector.items())) if field_selector else None,
+            )
+            snapshot = self._list_cache.get(snapshot_key)
+            if snapshot is not None and snapshot[0] >= self._kind_write_revs.get(kind, 0):
+                if not copy:
+                    return list(snapshot[2])
+                return marshal.loads(snapshot[1])
+        refs = []
         for entry in self.store.range(prefix):
             if self.serve_from_cache and entry.key in self._cache:
                 obj = self._cache[entry.key]
@@ -179,14 +260,37 @@ class APIServer:
                 obj = self._decode_or_purge(entry.key, entry.value)
                 if obj is None:
                     continue
-                self._cache[entry.key] = deep_copy(obj)
+                self._cache[entry.key] = obj
+                self._obj_blobs.pop(entry.key, None)
             if label_selector:
                 metadata = obj.get("metadata", {})
                 labels = metadata.get("labels", {}) if isinstance(metadata, dict) else {}
                 if not labels_subset(label_selector, labels if isinstance(labels, dict) else {}):
                     continue
-            results.append(deep_copy(obj))
-        return results
+            if fields is not None and any(
+                path.find(obj, _FIELD_MISSING) != value for path, value in fields
+            ):
+                continue
+            refs.append(obj)
+        if snapshot_key is not None:
+            try:
+                if len(self._list_cache) >= 256:
+                    self._list_cache.clear()
+                # One C-level dumps/loads pair replaces a Python deep copy per
+                # object: the blob both refreshes the snapshot and produces
+                # the caller's independent trees.  Revision read *after* the
+                # scan: an undecodable-value purge above deletes from the
+                # store and must not pin a stale key.
+                blob = marshal.dumps(refs)
+                self._list_cache[snapshot_key] = (self.store.revision, blob, refs)
+                if not copy:
+                    return list(refs)
+                return marshal.loads(blob)
+            except ValueError:
+                pass  # non-marshallable value (never produced by decode)
+        if not copy:
+            return refs
+        return [deep_copy(obj) for obj in refs]
 
     def delete(
         self, kind: str, name: str, namespace: Optional[str] = "default", actor: str = "user"
@@ -205,6 +309,7 @@ class APIServer:
             key = self._key(kind, namespace, name)
             existed = self.store.delete(key)
             self._cache.pop(key, None)
+            self._obj_blobs.pop(key, None)
             if not existed:
                 raise NotFoundError(f"{kind} {namespace}/{name} not found")
             return True
@@ -298,7 +403,8 @@ class APIServer:
                 if data is None:
                     # Message drop: the transaction silently never reaches the
                     # store, but the caller still receives an acknowledgement.
-                    return deep_copy(obj)
+                    # ``obj`` is this call's private copy — hand it over.
+                    return obj
 
             self._commit(key, data)
 
@@ -306,10 +412,13 @@ class APIServer:
             # only if the stored bytes still decode; otherwise the corrupted
             # bytes surface on the next read.
             try:
-                self._cache[key] = decode(data)
+                self._cache[key] = decode_shared(data)
             except DecodeError:
                 self._cache.pop(key, None)
-            return deep_copy(obj)
+            self._obj_blobs.pop(key, None)
+            # ``obj`` is the private copy taken on entry; nothing here retains
+            # it (the cache holds the decoded tree), so the caller owns it.
+            return obj
         except ApiError as exc:
             record.error = f"{exc.reason}: {exc}"
             raise
@@ -337,7 +446,9 @@ class APIServer:
     def _decode_or_purge(self, key: str, value: bytes) -> Optional[dict]:
         """Decode stored bytes; delete the key if undecodable (paper §II-D)."""
         try:
-            return decode(value)
+            # Shared-tree decode: the result goes straight into the watch
+            # cache (or is only read), never mutated in place.
+            return decode_shared(value)
         except DecodeError as exc:
             self.record_event(
                 "UndecodableObjectDeleted",
@@ -345,6 +456,7 @@ class APIServer:
             )
             self.store.delete(key)
             self._cache.pop(key, None)
+            self._obj_blobs.pop(key, None)
             return None
 
     # ---------------------------------------------------------------- watches
@@ -353,33 +465,43 @@ class APIServer:
         kind = kind_from_key(event.key)
         if kind is None:
             return
+        # Any write to this kind invalidates its list snapshots and the
+        # key's point-read blob — tracked before the decode below so
+        # undecodable writes invalidate too.
+        self._kind_write_revs[kind] = event.revision
+        self._obj_blobs.pop(event.key, None)
         if event.type == EventType.PUT:
             try:
-                obj = decode(event.value)
+                obj = decode_shared(event.value)
             except DecodeError:
                 # Deliver nothing; the object will be purged on the next read.
                 return
             event_type = "ADDED" if event.prev_value is None else "MODIFIED"
-            self._cache[event.key] = deep_copy(obj)
+            # Cache entries are immutable by convention (replaced wholesale,
+            # never edited), so the shared tree can be kept directly; handler
+            # payloads below are separate copies.
+            self._cache[event.key] = obj
         else:
             event_type = "DELETED"
             if event.prev_value is None:
                 return
             try:
-                obj = decode(event.prev_value)
+                obj = decode_shared(event.prev_value)
             except DecodeError:
                 self._cache.pop(event.key, None)
                 return
             self._cache.pop(event.key, None)
-        handlers = self._watch_handlers.get(kind, [])
+        handlers = self._watch_handlers.get(kind)
         if not handlers:
             return
-        payload = deep_copy(obj)
+        label = f"watch:{kind}:{event_type}"
         for handler in list(handlers):
+            # Each handler owns its payload copy, taken synchronously here
+            # (before any later write can replace the cached object).
             self.sim.call_after(
                 WATCH_DELIVERY_DELAY,
-                lambda handler=handler, payload=deep_copy(payload): handler(event_type, payload),
-                label=f"watch:{kind}:{event_type}",
+                lambda handler=handler, payload=deep_copy(obj): handler(event_type, payload),
+                label=label,
             )
 
     # ------------------------------------------------------------------ stats

@@ -50,18 +50,33 @@ class APIClient:
 
     # ------------------------------------------------------------------ reads
 
-    def get(self, kind: str, name: str, namespace: Optional[str] = "default") -> dict:
-        """Fetch a resource instance."""
-        return self.apiserver.get(kind, name, namespace=namespace)
+    def get(
+        self, kind: str, name: str, namespace: Optional[str] = "default", copy: bool = True
+    ) -> dict:
+        """Fetch a resource instance.
+
+        ``copy=False`` returns a read-only reference into the apiserver's
+        watch cache (the informer contract): cheaper, but the caller must
+        never mutate the result.
+        """
+        return self.apiserver.get(kind, name, namespace=namespace, copy=copy)
 
     def list(
         self,
         kind: str,
         namespace: Optional[str] = None,
         label_selector: Optional[dict[str, str]] = None,
+        field_selector: Optional[dict[str, object]] = None,
+        copy: bool = True,
     ) -> list[dict]:
-        """List resource instances."""
-        return self.apiserver.list(kind, namespace=namespace, label_selector=label_selector)
+        """List resource instances (``copy=False``: read-only cache refs)."""
+        return self.apiserver.list(
+            kind,
+            namespace=namespace,
+            label_selector=label_selector,
+            field_selector=field_selector,
+            copy=copy,
+        )
 
     def watch(self, kind: str, handler) -> None:
         """Register a watch handler for a resource kind."""

@@ -15,11 +15,20 @@ import re
 from typing import Optional
 
 from repro.apiserver.errors import InvalidObjectError
+from repro.hotpath import COUNTERS
 from repro.objects.selectors import labels_subset
+from repro.serialization.fieldpath import compile_path
 
 #: RFC 1123 DNS label: what Kubernetes requires of most object names.
 _DNS1123_RE = re.compile(r"^[a-z0-9]([-a-z0-9]*[a-z0-9])?$")
 _LABEL_VALUE_RE = re.compile(r"^[A-Za-z0-9]([-A-Za-z0-9_.]*[A-Za-z0-9])?$|^$")
+
+#: Precompiled accessors for the nested lookups validation repeats on every
+#: workload write; :meth:`CompiledPath.find` tolerates missing or non-dict
+#: intermediate nodes exactly like the chained ``.get``/``isinstance`` code
+#: it replaces.
+_TEMPLATE_LABELS_PATH = compile_path("spec.template.metadata.labels")
+_TEMPLATE_SPEC_PATH = compile_path("spec.template.spec")
 
 #: The largest replica count the Apiserver accepts; corrupt values beyond it
 #: are caught, smaller wrong values are not.
@@ -104,8 +113,7 @@ def _validate_workload_selector(obj: dict, result: ValidationResult) -> None:
     if not isinstance(template, dict):
         result.add("spec.template: missing")
         return
-    template_meta = template.get("metadata", {})
-    template_labels = template_meta.get("labels", {}) if isinstance(template_meta, dict) else {}
+    template_labels = _TEMPLATE_LABELS_PATH.find(obj, {})
     match_labels = selector.get("matchLabels", {})
     if not isinstance(match_labels, dict) or not isinstance(template_labels, dict):
         result.add("spec.selector: malformed matchLabels or template labels")
@@ -206,11 +214,9 @@ def _validate_node(obj: dict, result: ValidationResult) -> None:
 def _validate_workload(obj: dict, result: ValidationResult) -> None:
     _validate_workload_selector(obj, result)
     _validate_replicas(obj, result)
-    spec = obj.get("spec")
-    if isinstance(spec, dict):
-        template = spec.get("template")
-        if isinstance(template, dict) and isinstance(template.get("spec"), dict):
-            _validate_containers(template["spec"], "spec.template.spec", result)
+    template_spec = _TEMPLATE_SPEC_PATH.find(obj)
+    if isinstance(template_spec, dict):
+        _validate_containers(template_spec, "spec.template.spec", result)
 
 
 _KIND_VALIDATORS = {
@@ -225,6 +231,7 @@ _KIND_VALIDATORS = {
 
 def validate_object(kind: str, obj: dict, expected_namespace: Optional[str] = None) -> ValidationResult:
     """Run the validation chain for an object of the given kind."""
+    COUNTERS.validations += 1
     result = ValidationResult()
     if not isinstance(obj, dict):
         result.add("object: not a map")

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli worker --results-dir DIR [--worker-id ID]
                                [--lease-ttl S] [--max-slices N]
     python -m repro.cli propagation [--workers N] [--fields-per-component K]
+    python -m repro.cli profile [--max-experiments M] [--top N] [--output FILE]
     python -m repro.cli inspect RESULTS_DIR [--json FILE]
     python -m repro.cli federate DEST SOURCE [SOURCE ...]
     python -m repro.cli autofederate DEST SOURCE [SOURCE ...] [--timeout S]
@@ -43,6 +44,11 @@ digest is byte-identical to a single serial run, and ``autofederate`` is
 its watching form: it polls several stores (even ones their workers haven't
 created yet) and folds newly completed experiments into the destination
 until the campaign's full plan is there.
+
+``profile`` runs a reduced campaign serially under cProfile together with
+the hot-path counters of :mod:`repro.hotpath` — per-experiment encode /
+decode / validation / watch-dispatch counts and cache hit rates next to the
+functions the wall-clock actually went to (see ``docs/PERFORMANCE.md``).
 
 Very large campaigns stress the store path itself; two knobs keep it flat:
 object-store listings paginate transparently (server ``--max-page``, client
@@ -397,6 +403,53 @@ def _cmd_objstore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a reduced serial campaign: cProfile + hot-path counters."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.hotpath import COUNTERS
+
+    config = CampaignConfig(
+        workloads=args.workloads,
+        golden_runs=args.golden_runs,
+        max_experiments_per_workload=args.max_experiments,
+        seed=args.seed,
+        workers=1,  # cProfile cannot follow pool workers; always serial
+    )
+    campaign = Campaign(config)
+    COUNTERS.reset()
+    started = time.monotonic()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = campaign.run(progress=_progress_printer(args.quiet, started))
+    profiler.disable()
+    elapsed = time.monotonic() - started
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    report = "\n".join(
+        [
+            f"profiled campaign: {result.total_experiments()} experiment(s) "
+            f"in {elapsed:.2f}s (serial)",
+            "",
+            COUNTERS.render(),
+            "",
+            f"cProfile top {args.top} functions by {args.sort}:",
+            stream.getvalue().rstrip(),
+        ]
+    )
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def _cmd_propagation(args: argparse.Namespace) -> int:
     config = _make_config(args, max_experiments=None)
     campaign = Campaign(config)
@@ -616,6 +669,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="recorded fields injected per (workload, component) pair (default: 10)",
     )
     propagation.set_defaults(func=_cmd_propagation)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile a reduced serial campaign: cProfile plus the hot-path "
+        "counters (encodes, decodes, validations, watch dispatches)",
+    )
+    profile.add_argument(
+        "--workloads",
+        type=_parse_workloads,
+        default=tuple(WorkloadKind),
+        metavar="LIST",
+        help="comma-separated workloads to run (default: deploy,scale,failover)",
+    )
+    profile.add_argument("--seed", type=int, default=7, help="campaign seed (default: 7)")
+    profile.add_argument(
+        "--golden-runs",
+        type=_positive_int,
+        default=2,
+        help="golden runs per workload used for the baseline (default: 2)",
+    )
+    profile.add_argument(
+        "--max-experiments",
+        type=_non_negative_int,
+        default=8,
+        metavar="M",
+        help="experiments per workload, 0 = the full generated campaign "
+        "(default: 8 — profiling multiplies the runtime)",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=25,
+        metavar="N",
+        help="pstats rows to print (default: 25)",
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="tottime",
+        help="pstats sort order (default: tottime)",
+    )
+    profile.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the report (counters + pstats) to FILE",
+    )
+    profile.add_argument(
+        "--quiet", action="store_true", help="suppress the progress lines on stderr"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     inspect = subparsers.add_parser(
         "inspect", help="summarize an existing sharded result store"

@@ -14,7 +14,13 @@ from repro.apiserver.errors import ApiError
 from repro.controllers.base import Controller
 from repro.controllers.replicaset import pod_is_active, pod_is_ready
 from repro.objects.kinds import PRIORITY_SYSTEM_NODE_CRITICAL, make_pod
-from repro.objects.meta import controller_owner, make_owner_reference, object_key, owner_uids
+from repro.objects.meta import (
+    controller_owner,
+    deep_copy,
+    make_owner_reference,
+    object_key,
+    owner_uids,
+)
 from repro.objects.selectors import matches_selector
 
 #: Per-sync creation cap per DaemonSet (slow-start batch), mirroring
@@ -67,9 +73,11 @@ class DaemonSetController(Controller):
         self.pods_deleted = 0
 
     def reconcile_all(self) -> None:
-        daemonsets = self.client.list("DaemonSet")
-        nodes = self.client.list("Node")
-        pods = self.client.list("Pod")
+        # Read-only refs (informer contract); the status-update path copies
+        # before it mutates.
+        daemonsets = self.client.list("DaemonSet", copy=False)
+        nodes = self.client.list("Node", copy=False)
+        pods = self.client.list("Pod", copy=False)
         for daemonset in daemonsets:
             key = object_key(daemonset)
             if self.key_backoff_active(key):
@@ -183,7 +191,7 @@ class DaemonSetController(Controller):
             pass
 
     def _update_status(self, daemonset, desired, scheduled, ready) -> None:
-        status = daemonset.setdefault("status", {})
+        status = daemonset.get("status", {})
         if not isinstance(status, dict):
             return
         new_status = {
@@ -194,7 +202,10 @@ class DaemonSetController(Controller):
         }
         if all(status.get(key) == value for key, value in new_status.items()):
             return
-        status.update(new_status)
+        daemonset = deep_copy(daemonset)  # listed refs are read-only
+        updated = daemonset.setdefault("status", {})
+        if isinstance(updated, dict):
+            updated.update(new_status)
         try:
             self.client.update_status("DaemonSet", daemonset)
         except ApiError:

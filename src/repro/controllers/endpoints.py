@@ -24,8 +24,10 @@ class EndpointsController(Controller):
     name = "endpoints"
 
     def reconcile_all(self) -> None:
-        services = self.client.list("Service")
-        pods = self.client.list("Pod")
+        # Read-only refs (informer contract): the desired Endpoints object is
+        # built from scratch; only the fetched ``existing`` copy is mutated.
+        services = self.client.list("Service", copy=False)
+        pods = self.client.list("Pod", copy=False)
         for service in services:
             key = object_key(service)
             if self.key_backoff_active(key):

@@ -32,7 +32,9 @@ class GarbageCollector(Controller):
             if kind == "Event":
                 continue
             try:
-                objects = self.client.list(kind)
+                # Read-only refs (informer contract): the collector only
+                # inspects owner references and issues deletes through the API.
+                objects = self.client.list(kind, copy=False)
             except ApiError:
                 continue
             for obj in objects:

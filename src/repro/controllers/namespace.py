@@ -29,7 +29,7 @@ class NamespaceController(Controller):
     def reconcile_all(self) -> None:
         namespaces = {
             namespace.get("metadata", {}).get("name")
-            for namespace in self.client.list("Namespace")
+            for namespace in self.client.list("Namespace", copy=False)
             if isinstance(namespace.get("metadata"), dict)
         }
         namespaces.update(SYSTEM_NAMESPACES)
@@ -38,7 +38,7 @@ class NamespaceController(Controller):
             if not info["namespaced"] or kind == "Event":
                 continue
             try:
-                objects = self.client.list(kind)
+                objects = self.client.list(kind, copy=False)
             except ApiError:
                 continue
             for obj in objects:

@@ -53,12 +53,14 @@ class NodeLifecycleController(Controller):
         nodes = self.client.list("Node")
         if not nodes:
             return
+        # Leases and pods are only read (evictions go through the API);
+        # nodes are copied because ``_set_ready_condition`` mutates them.
         leases = {
             lease.get("metadata", {}).get("name"): lease
-            for lease in self.client.list("Lease", namespace="kube-node-lease")
+            for lease in self.client.list("Lease", namespace="kube-node-lease", copy=False)
             if isinstance(lease.get("metadata"), dict)
         }
-        pods = self.client.list("Pod")
+        pods = self.client.list("Pod", copy=False)
 
         unhealthy = []
         for node in nodes:

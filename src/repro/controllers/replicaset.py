@@ -15,7 +15,13 @@ from typing import Optional
 from repro.apiserver.errors import ApiError
 from repro.controllers.base import Controller
 from repro.objects.kinds import make_pod
-from repro.objects.meta import controller_owner, make_owner_reference, object_key, owner_uids
+from repro.objects.meta import (
+    controller_owner,
+    deep_copy,
+    make_owner_reference,
+    object_key,
+    owner_uids,
+)
 from repro.objects.selectors import matches_selector
 
 #: Maximum number of pods created for one ReplicaSet in a single sync pass
@@ -53,8 +59,10 @@ class ReplicaSetController(Controller):
         self.pods_deleted = 0
 
     def reconcile_all(self) -> None:
-        replicasets = self.client.list("ReplicaSet")
-        pods = self.client.list("Pod")
+        # Read-only refs (informer contract); the adoption and status-update
+        # paths copy before they mutate.
+        replicasets = self.client.list("ReplicaSet", copy=False)
+        pods = self.client.list("Pod", copy=False)
         for replicaset in replicasets:
             key = object_key(replicaset)
             if self.key_backoff_active(key):
@@ -113,6 +121,7 @@ class ReplicaSetController(Controller):
         return managed
 
     def _adopt(self, replicaset: dict, pod: dict) -> Optional[dict]:
+        pod = deep_copy(pod)  # listed refs are read-only
         pod["metadata"].setdefault("ownerReferences", [])
         if not isinstance(pod["metadata"]["ownerReferences"], list):
             pod["metadata"]["ownerReferences"] = []
@@ -167,7 +176,7 @@ class ReplicaSetController(Controller):
         return sorted(active, key=sort_key)[:count]
 
     def _update_status(self, replicaset: dict, active: list[dict]) -> None:
-        status = replicaset.setdefault("status", {})
+        status = replicaset.get("status", {})
         if not isinstance(status, dict):
             return
         ready = sum(1 for pod in active if pod_is_ready(pod))
@@ -179,7 +188,10 @@ class ReplicaSetController(Controller):
         }
         if all(status.get(key) == value for key, value in new_status.items()):
             return
-        status.update(new_status)
+        replicaset = deep_copy(replicaset)  # listed refs are read-only
+        updated = replicaset.setdefault("status", {})
+        if isinstance(updated, dict):
+            updated.update(new_status)
         try:
             self.client.update_status("ReplicaSet", replicaset)
         except ApiError:

@@ -24,6 +24,7 @@ from repro.core.classification import (
     detect_unreachable_tail,
 )
 from repro.core.injector import FaultSpec, InjectionChannel, MutinyInjector
+from repro.hotpath import COUNTERS
 from repro.workloads.appclient import ApplicationClient
 from repro.workloads.scenario import SERVICE_NAME, ServiceApplication
 from repro.workloads.workload import KbenchDriver, WorkloadKind
@@ -167,6 +168,7 @@ class ExperimentRunner:
         seed: int,
         etcd_observer=None,
     ) -> ExperimentResult:
+        COUNTERS.experiments += 1
         config = self.config
         cluster_config = ClusterConfig(**vars(config.cluster))
         cluster_config.seed = seed

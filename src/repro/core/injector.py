@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 
-from repro.serialization import DecodeError, decode, encode, get_path, set_path
+from repro.serialization import DecodeError, compile_path, decode, encode
 
 
 class FaultType(Enum):
@@ -242,8 +242,12 @@ class MutinyInjector:
             return data
         if spec.field_path is None:
             return data
+        # ``compile_path`` caches the parsed accessor per distinct dotted
+        # string, so the campaign's thousands of probes per field path split
+        # the path exactly once.
+        path = compile_path(spec.field_path)
         try:
-            original = get_path(obj, spec.field_path)
+            original = path.get(obj)
         except KeyError:
             # The targeted field does not appear in this message; do not
             # consume the occurrence (it never fired).
@@ -253,7 +257,7 @@ class MutinyInjector:
 
         injected = self._mutate(original)
         try:
-            set_path(obj, spec.field_path, injected)
+            path.set(obj, injected)
         except KeyError:
             return data
         record.original_value = original

@@ -43,6 +43,10 @@ class RaftGroup:
         if not member_names:
             raise ValueError("a Raft group needs at least one member")
         self._members = {name: RaftMember(name=name) for name in member_names}
+        #: Incrementally-maintained count of healthy members; health changes
+        #: only through fail_member/recover_member, and has_quorum is checked
+        #: on every apiserver read and write.
+        self._healthy_count = len(self._members)
         self._term = 1
         self._leader: Optional[str] = None
         self._elect()
@@ -76,7 +80,7 @@ class RaftGroup:
 
     def has_quorum(self) -> bool:
         """True if a majority of members is healthy."""
-        return len(self.healthy_members()) >= self.quorum_size()
+        return self._healthy_count >= len(self._members) // 2 + 1
 
     # ------------------------------------------------------------ membership
 
@@ -85,6 +89,8 @@ class RaftGroup:
         member = self._members.get(name)
         if member is None:
             raise KeyError(f"unknown raft member {name!r}")
+        if member.healthy:
+            self._healthy_count -= 1
         member.healthy = False
         if self._leader == name:
             self._term += 1
@@ -95,6 +101,8 @@ class RaftGroup:
         member = self._members.get(name)
         if member is None:
             raise KeyError(f"unknown raft member {name!r}")
+        if not member.healthy:
+            self._healthy_count += 1
         member.healthy = True
         if self._leader is None:
             self._term += 1

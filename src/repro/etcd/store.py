@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
 
+from repro.hotpath import COUNTERS
+
 
 class StoreQuotaExceeded(RuntimeError):
     """Raised when a write would exceed the store's storage quota.
@@ -76,10 +78,17 @@ class EtcdStore:
         self._data: dict[str, KeyValue] = {}
         self._revision = 0
         self._watchers: dict[int, _Watcher] = {}
+        #: Watchers bucketed by their prefix: dispatch checks one
+        #: ``startswith`` per *distinct prefix* instead of one per watcher.
+        self._watch_buckets: dict[str, list[_Watcher]] = {}
         self._watch_ids = itertools.count(1)
         self._quota_bytes = quota_bytes
         self._bytes_used = 0
         self._alarm_active = False
+        #: Sorted view of the key set, invalidated when a key is added or
+        #: removed (value-only rewrites keep it); ``range``/``keys`` reuse it
+        #: across the thousands of list requests an experiment issues.
+        self._sorted_keys: Optional[list[str]] = None
         self.write_count = 0
         self.read_count = 0
         self.delete_count = 0
@@ -120,14 +129,20 @@ class EtcdStore:
         self.read_count += 1
         return self._data.get(key)
 
+    def _sorted(self) -> list[str]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._data)
+        return self._sorted_keys
+
     def range(self, prefix: str) -> list[KeyValue]:
         """Return all entries whose key starts with ``prefix``, sorted by key."""
         self.read_count += 1
-        return [self._data[key] for key in sorted(self._data) if key.startswith(prefix)]
+        data = self._data
+        return [data[key] for key in self._sorted() if key.startswith(prefix)]
 
     def keys(self, prefix: str = "") -> list[str]:
         """Return all keys with the given prefix, sorted."""
-        return [key for key in sorted(self._data) if key.startswith(prefix)]
+        return [key for key in self._sorted() if key.startswith(prefix)]
 
     # ----------------------------------------------------------------- writes
 
@@ -152,6 +167,7 @@ class EtcdStore:
         self.write_count += 1
         self._bytes_used += delta
         if previous is None:
+            self._sorted_keys = None
             entry = KeyValue(
                 key=key,
                 value=value,
@@ -168,15 +184,18 @@ class EtcdStore:
                 version=previous.version + 1,
             )
         self._data[key] = entry
-        self._notify(
-            WatchEvent(
+        watchers = self._matching_watchers(key)
+        if watchers:
+            event = WatchEvent(
                 type=EventType.PUT,
                 key=key,
                 value=value,
                 revision=self._revision,
                 prev_value=previous.value if previous else None,
             )
-        )
+            self._dispatch(watchers, event)
+        else:
+            COUNTERS.watch_events_skipped += 1
         return self._revision
 
     def delete(self, key: str) -> bool:
@@ -184,18 +203,22 @@ class EtcdStore:
         previous = self._data.pop(key, None)
         if previous is None:
             return False
+        self._sorted_keys = None
         self._revision += 1
         self.delete_count += 1
         self._bytes_used -= len(previous.value)
-        self._notify(
-            WatchEvent(
+        watchers = self._matching_watchers(key)
+        if watchers:
+            event = WatchEvent(
                 type=EventType.DELETE,
                 key=key,
                 value=None,
                 revision=self._revision,
                 prev_value=previous.value,
             )
-        )
+            self._dispatch(watchers, event)
+        else:
+            COUNTERS.watch_events_skipped += 1
         return True
 
     def delete_prefix(self, prefix: str) -> int:
@@ -221,7 +244,9 @@ class EtcdStore:
     def watch(self, prefix: str, callback: Callable[[WatchEvent], None]) -> int:
         """Register a watch on a key prefix; return a watch id."""
         watch_id = next(self._watch_ids)
-        self._watchers[watch_id] = _Watcher(watch_id=watch_id, prefix=prefix, callback=callback)
+        watcher = _Watcher(watch_id=watch_id, prefix=prefix, callback=callback)
+        self._watchers[watch_id] = watcher
+        self._watch_buckets.setdefault(prefix, []).append(watcher)
         return watch_id
 
     def cancel_watch(self, watch_id: int) -> None:
@@ -229,12 +254,36 @@ class EtcdStore:
         watcher = self._watchers.pop(watch_id, None)
         if watcher is not None:
             watcher.cancelled = True
+            bucket = self._watch_buckets.get(watcher.prefix)
+            if bucket is not None:
+                bucket[:] = [entry for entry in bucket if entry is not watcher]
+                if not bucket:
+                    del self._watch_buckets[watcher.prefix]
 
-    def _notify(self, event: WatchEvent) -> None:
-        for watcher in list(self._watchers.values()):
-            if watcher.cancelled:
-                continue
-            if event.key.startswith(watcher.prefix):
+    def _matching_watchers(self, key: str) -> list[_Watcher]:
+        """Live watchers whose prefix matches ``key``, in registration order.
+
+        The per-prefix buckets make the no-subscriber case (idle controllers,
+        keys nothing watches) a handful of ``startswith`` checks, after which
+        the caller skips constructing the event entirely.
+        """
+        buckets = self._watch_buckets
+        if not buckets:
+            return []
+        matched: list[_Watcher] = []
+        for prefix, bucket in buckets.items():
+            if key.startswith(prefix):
+                matched.extend(bucket)
+        if len(buckets) > 1 and len(matched) > 1:
+            # Several prefixes matched: restore registration order so
+            # delivery order is identical to the unbucketed dispatch.
+            matched.sort(key=lambda watcher: watcher.watch_id)
+        return matched
+
+    def _dispatch(self, watchers: list[_Watcher], event: WatchEvent) -> None:
+        for watcher in watchers:
+            if not watcher.cancelled:
+                COUNTERS.watch_dispatches += 1
                 watcher.callback(event)
 
     # ------------------------------------------------------------------ misc

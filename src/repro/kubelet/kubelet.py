@@ -154,14 +154,12 @@ class Kubelet:
         if not self.healthy:
             return
         try:
-            pods = self.client.list("Pod")
+            # Field-selected list, as the real kubelet does: the apiserver
+            # filters to this node's pods (and can serve them from one small
+            # cached snapshot) instead of copying the whole Pod collection.
+            bound = self.client.list("Pod", field_selector={"spec.nodeName": self.node_name})
         except ApiError:
             return
-        bound = []
-        for pod in pods:
-            spec = pod.get("spec", {})
-            if isinstance(spec, dict) and spec.get("nodeName") == self.node_name:
-                bound.append(pod)
 
         bound_uids = set()
         for pod in bound:

@@ -85,7 +85,9 @@ class MetricsCollector:
     # ------------------------------------------------------------------ guts
 
     def _scrape_into(self, sample: MetricsSample) -> None:
-        replicasets = self.client.list("ReplicaSet")
+        # All reads below take read-only cache refs (informer contract):
+        # scraping only aggregates counters, it never mutates objects.
+        replicasets = self.client.list("ReplicaSet", copy=False)
         for replicaset in replicasets:
             key = self._key(replicaset)
             status = replicaset.get("status", {})
@@ -94,7 +96,7 @@ class MetricsCollector:
             desired = spec.get("replicas", 0) if isinstance(spec, dict) else 0
             sample.replicasets[key] = (self._int(ready), self._int(desired))
 
-        deployments = self.client.list("Deployment")
+        deployments = self.client.list("Deployment", copy=False)
         for deployment in deployments:
             key = self._key(deployment)
             status = deployment.get("status", {})
@@ -103,7 +105,7 @@ class MetricsCollector:
             desired = spec.get("replicas", 0) if isinstance(spec, dict) else 0
             sample.deployments[key] = (self._int(ready), self._int(desired))
 
-        for endpoints in self.client.list("Endpoints"):
+        for endpoints in self.client.list("Endpoints", copy=False):
             key = self._key(endpoints)
             count = 0
             subsets = endpoints.get("subsets", [])
@@ -113,7 +115,7 @@ class MetricsCollector:
                         count += len(subset["addresses"])
             sample.endpoints[key] = count
 
-        pods = self.client.list("Pod")
+        pods = self.client.list("Pod", copy=False)
         sample.total_pods = len(pods)
         for pod in pods:
             status = pod.get("status", {})
@@ -132,7 +134,7 @@ class MetricsCollector:
                     sample.network_manager_ready_pods += 1
         sample.pods_created_cumulative = len(self._pods_seen_uids)
 
-        nodes = self.client.list("Node")
+        nodes = self.client.list("Node", copy=False)
         sample.nodes_total = len(nodes)
         for node in nodes:
             conditions = node.get("status", {}).get("conditions", [])

@@ -63,6 +63,15 @@ class ClusterNetwork:
         self._round_robin: dict[str, int] = {}
         self.teardowns = 0
         self._task = None
+        #: Bumped whenever the programmed-route state may have changed; part
+        #: of the memo keys below.
+        self._routes_epoch = 0
+        #: ``(service, namespace) -> (state_key, backends)`` memo — exact
+        #: while the store revision, route state and apiserver health are
+        #: unchanged (reads have no side effects at an unchanged revision:
+        #: any purge-on-read already happened on the first, uncached call).
+        self._backends_memo: dict[tuple[str, str], tuple[tuple, list]] = {}
+        self._dns_memo: Optional[tuple[tuple, bool]] = None
 
     # ---------------------------------------------------------------- control
 
@@ -78,10 +87,24 @@ class ClusterNetwork:
 
     # ------------------------------------------------------------------- sync
 
+    def _state_key(self) -> tuple:
+        """Identity of everything the evaluation reads can depend on."""
+        apiserver = self.client.apiserver
+        raft = apiserver.raft
+        return (
+            apiserver.store.revision,
+            self._routes_epoch,
+            apiserver.healthy,
+            raft.has_quorum() if raft is not None else True,
+        )
+
     def sync(self) -> None:
         """Program routes for pods on nodes with a healthy network manager."""
+        self._routes_epoch += 1
         try:
-            pods = self.client.list("Pod")
+            # Read-only refs (informer contract): the network never mutates
+            # the objects it observes.
+            pods = self.client.list("Pod", copy=False)
         except ApiError:
             return
 
@@ -120,7 +143,9 @@ class ClusterNetwork:
 
     def _network_config_intact(self) -> bool:
         try:
-            config = self.client.get("ConfigMap", NETWORK_CONFIGMAP, namespace="kube-system")
+            config = self.client.get(
+                "ConfigMap", NETWORK_CONFIGMAP, namespace="kube-system", copy=False
+            )
         except NotFoundError:
             return False
         except ApiError:
@@ -165,9 +190,18 @@ class ClusterNetwork:
 
     def dns_available(self) -> bool:
         """True if at least one ready DNS pod is reachable."""
+        state = self._state_key()
+        memo = self._dns_memo
+        if memo is not None and memo[0] == state:
+            return memo[1]
+        available = self._dns_available_uncached()
+        self._dns_memo = (state, available)
+        return available
+
+    def _dns_available_uncached(self) -> bool:
         key, value = DNS_LABEL
         try:
-            pods = self.client.list("Pod", namespace="kube-system")
+            pods = self.client.list("Pod", namespace="kube-system", copy=False)
         except ApiError:
             return False
         for pod in pods:
@@ -178,8 +212,20 @@ class ClusterNetwork:
 
     def service_backends(self, service_name: str, namespace: str = "default") -> list[dict]:
         """Return the reachable backend pods behind a Service."""
+        state = self._state_key()
+        memo_key = (service_name, namespace)
+        memo = self._backends_memo.get(memo_key)
+        if memo is not None and memo[0] == state:
+            return list(memo[1])
+        backends = self._service_backends_uncached(service_name, namespace)
+        if len(self._backends_memo) >= 256:
+            self._backends_memo.clear()
+        self._backends_memo[memo_key] = (state, backends)
+        return list(backends)
+
+    def _service_backends_uncached(self, service_name: str, namespace: str) -> list[dict]:
         try:
-            endpoints = self.client.get("Endpoints", service_name, namespace=namespace)
+            endpoints = self.client.get("Endpoints", service_name, namespace=namespace, copy=False)
         except ApiError:
             return []
         subsets = endpoints.get("subsets", [])
@@ -194,7 +240,7 @@ class ClusterNetwork:
                 addresses.extend(entry for entry in entries if isinstance(entry, dict))
 
         try:
-            pods = self.client.list("Pod", namespace=namespace)
+            pods = self.client.list("Pod", namespace=namespace, copy=False)
         except ApiError:
             pods = []
         pods_by_ip = {}
@@ -231,7 +277,7 @@ class ClusterNetwork:
         if use_dns and not self.dns_available():
             return RequestOutcome(success=False, latency=0.0, error="dns-resolution-failed")
         try:
-            self.client.get("Service", service_name, namespace=namespace)
+            self.client.get("Service", service_name, namespace=namespace, copy=False)
         except ApiError:
             return RequestOutcome(success=False, latency=0.0, error="service-not-found")
         backends = self.service_backends(service_name, namespace=namespace)

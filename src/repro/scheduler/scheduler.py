@@ -17,6 +17,7 @@ from repro.apiserver.client import APIClient
 from repro.apiserver.errors import ApiError
 from repro.controllers.daemonset import tolerates_taints
 from repro.controllers.leaderelection import LeaderElector
+from repro.objects.meta import deep_copy
 from repro.objects.quantities import node_allocatable, pod_resource_request
 from repro.sim.engine import Simulation
 
@@ -75,14 +76,16 @@ class Scheduler:
         if not self.elector.try_acquire_or_renew():
             return
         try:
-            pods = self.client.list("Pod")
-            nodes = self.client.list("Node")
+            # Read-only refs (informer contract); pending pods are copied
+            # below because binding mutates ``spec.nodeName``.
+            pods = self.client.list("Pod", copy=False)
+            nodes = self.client.list("Node", copy=False)
         except ApiError:
             return
 
         self._check_cache_consistency(pods, nodes)
 
-        pending = [pod for pod in pods if self._is_pending(pod)]
+        pending = [deep_copy(pod) for pod in pods if self._is_pending(pod)]
         # Highest priority first, then oldest first.
         pending.sort(key=lambda pod: (-self._priority(pod), self._creation_time(pod)))
         bound = [pod for pod in pods if not self._is_pending(pod)]

@@ -13,9 +13,17 @@ wire format with both properties, plus utilities to enumerate the injectable
 field paths of an object — the raw material of the injection campaign.
 """
 
-from repro.serialization.codec import DecodeError, decode, encode
+from repro.serialization.codec import (
+    DecodeError,
+    clear_codec_caches,
+    decode,
+    decode_shared,
+    encode,
+)
 from repro.serialization.fieldpath import (
+    CompiledPath,
     FieldRecord,
+    compile_path,
     delete_path,
     get_path,
     iter_field_paths,
@@ -23,9 +31,13 @@ from repro.serialization.fieldpath import (
 )
 
 __all__ = [
+    "CompiledPath",
     "DecodeError",
     "FieldRecord",
+    "clear_codec_caches",
+    "compile_path",
     "decode",
+    "decode_shared",
     "delete_path",
     "encode",
     "get_path",

@@ -14,11 +14,30 @@ the paper's serialization-byte fault injections:
 Objects are plain Python dictionaries whose leaves are ``int``, ``float``,
 ``bool``, ``str``, ``None``, lists, or nested dictionaries — exactly the
 shape of the resource objects in :mod:`repro.objects`.
+
+Two caches sit on the hot path (see ``docs/PERFORMANCE.md``):
+
+* a **decode cache** keyed by the exact value bytes — the store persists
+  serialized bytes, so every controller read of an unchanged object used to
+  pay a full varint round-trip; identical bytes always decode to identical
+  trees, so the round-trip is paid once and every further read receives an
+  independent deep copy of the cached tree.  Corrupted/injected bytes differ
+  from any successfully decoded bytes and therefore *bypass* the cache by
+  construction: they are decoded (and fail) fresh every time, so the fault
+  semantics of the paper are untouched;
+* an **encode key cache** interning the length-prefixed encoding of message
+  keys — the same few dozen field names ("metadata", "spec", "replicas", …)
+  appear in every message of a campaign.
 """
 
 from __future__ import annotations
 
+import marshal
+import struct
+from collections import OrderedDict
 from typing import Any
+
+from repro.hotpath import COUNTERS
 
 # One-byte value type tags.
 _TYPE_INT = 0x00
@@ -31,6 +50,53 @@ _TYPE_NONE = 0x06
 
 _MAX_LENGTH = 16 * 1024 * 1024  # guard against corrupted lengths exploding memory
 
+#: Bound on cached decoded values (entries); the campaign working set is a
+#: few hundred distinct serialized objects, re-read thousands of times.
+_DECODE_CACHE_MAX = 1024
+#: Values larger than this are decoded but never cached (memory guard).
+_DECODE_CACHE_VALUE_LIMIT = 64 * 1024
+#: Maps exact value bytes to ``[tree, marshal_blob_or_None]``; the blob is
+#: produced lazily on the first copying read and turns every further
+#: :func:`decode` hit into a single C-level ``marshal.loads``.
+_decode_cache: "OrderedDict[bytes, list]" = OrderedDict()
+
+#: Interned ``varint(len) + utf-8`` encodings of message keys.
+_KEY_CACHE_MAX = 4096
+_key_cache: dict[str, bytes] = {}
+
+#: Canonical instances of short decoded strings (field keys, kind names,
+#: phases, namespaces, …).  Sharing one instance per distinct text makes the
+#: apiserver's ``marshal``-based list snapshots both smaller and ~2× faster
+#: to load, because ``marshal`` writes identity-based back-references.
+_STR_CACHE_MAX = 8192
+_STR_CACHE_VALUE_LIMIT = 128
+_str_cache: dict[str, str] = {}
+
+#: Interned ``tag + varint(len) + utf-8`` encodings of short string values —
+#: phases, kind names, namespaces and label values repeat across every
+#: message of a campaign.
+_ENCODED_STR_CACHE_MAX = 8192
+_ENCODED_STR_VALUE_LIMIT = 128
+_encoded_str_cache: dict[str, bytes] = {}
+
+
+def _canonical_str(text: str) -> str:
+    """Return the canonical shared instance of ``text`` (equal, maybe same)."""
+    cached = _str_cache.get(text)
+    if cached is not None:
+        return cached
+    if len(text) <= _STR_CACHE_VALUE_LIMIT and len(_str_cache) < _STR_CACHE_MAX:
+        _str_cache[text] = text
+    return text
+
+
+def clear_codec_caches() -> None:
+    """Drop the decode/key/string caches (tests; never needed for correctness)."""
+    _decode_cache.clear()
+    _key_cache.clear()
+    _str_cache.clear()
+    _encoded_str_cache.clear()
+
 
 class DecodeError(ValueError):
     """Raised when a byte string cannot be decoded back into an object."""
@@ -40,8 +106,23 @@ class EncodeError(ValueError):
     """Raised when an object contains values the wire format cannot represent."""
 
 
+def _copy_tree(node: Any) -> Any:
+    """Deep-copy a decoded tree (dicts, lists and immutable scalars only)."""
+    kind = type(node)
+    if kind is dict:
+        return {key: _copy_tree(value) for key, value in node.items()}
+    if kind is list:
+        return [_copy_tree(value) for value in node]
+    return node
+
+
+_SMALL_VARINTS = [bytes([value]) for value in range(0x80)]
+
+
 def _encode_varint(value: int) -> bytes:
     """Encode a non-negative integer as a base-128 varint."""
+    if 0 <= value < 0x80:
+        return _SMALL_VARINTS[value]
     if value < 0:
         raise EncodeError(f"varint cannot encode negative value {value}")
     out = bytearray()
@@ -83,31 +164,103 @@ def _decode_zigzag(value: int) -> int:
     return (value >> 1) ^ -(value & 1)
 
 
-def _encode_value(value: Any) -> bytes:
-    """Encode a single value with its type tag."""
-    if value is None:
-        return bytes([_TYPE_NONE])
-    if isinstance(value, bool):
-        return bytes([_TYPE_BOOL, 1 if value else 0])
-    if isinstance(value, int):
-        return bytes([_TYPE_INT]) + _encode_varint(_encode_zigzag(value))
-    if isinstance(value, float):
-        import struct
+def _encode_str(value: str) -> bytes:
+    """Return the full ``tag + varint(len) + utf-8`` encoding of a string."""
+    cached = _encoded_str_cache.get(value)
+    if cached is not None:
+        return cached
+    raw = value.encode("utf-8")
+    encoded = bytes([_TYPE_STR]) + _encode_varint(len(raw)) + raw
+    if len(value) <= _ENCODED_STR_VALUE_LIMIT and len(_encoded_str_cache) < _ENCODED_STR_CACHE_MAX:
+        _encoded_str_cache[value] = encoded
+    return encoded
 
-        return bytes([_TYPE_FLOAT]) + struct.pack("<d", value)
+
+def _encode_value_into(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of ``value`` to ``out``.
+
+    Exact-type dispatch first (the only types API objects contain), then the
+    original ``isinstance`` chain for subclasses — the produced bytes are
+    identical either way, the writer style just avoids one intermediate
+    ``bytes`` allocation per node.
+    """
+    kind = type(value)
+    if kind is str:
+        out += _encode_str(value)
+        return
+    if value is None:
+        out.append(_TYPE_NONE)
+        return
+    if kind is bool:
+        out.append(_TYPE_BOOL)
+        out.append(1 if value else 0)
+        return
+    if kind is int:
+        out.append(_TYPE_INT)
+        out += _encode_varint(_encode_zigzag(value))
+        return
+    if kind is float:
+        out.append(_TYPE_FLOAT)
+        out += struct.pack("<d", value)
+        return
+    if kind is dict:
+        payload = _encode_message(value)
+        out.append(_TYPE_MESSAGE)
+        out += _encode_varint(len(payload))
+        out += payload
+        return
+    if kind is list or kind is tuple:
+        parts = bytearray()
+        parts += _encode_varint(len(value))
+        for item in value:
+            _encode_value_into(item, parts)
+        out.append(_TYPE_LIST)
+        out += _encode_varint(len(parts))
+        out += parts
+        return
+    # Subclasses (IntEnum, str subclasses, …): the original isinstance order,
+    # bool before int.
+    if isinstance(value, bool):
+        out.append(_TYPE_BOOL)
+        out.append(1 if value else 0)
+        return
+    if isinstance(value, int):
+        out.append(_TYPE_INT)
+        out += _encode_varint(_encode_zigzag(value))
+        return
+    if isinstance(value, float):
+        out.append(_TYPE_FLOAT)
+        out += struct.pack("<d", value)
+        return
     if isinstance(value, str):
         raw = value.encode("utf-8")
-        return bytes([_TYPE_STR]) + _encode_varint(len(raw)) + raw
+        out.append(_TYPE_STR)
+        out += _encode_varint(len(raw))
+        out += raw
+        return
     if isinstance(value, dict):
         payload = _encode_message(value)
-        return bytes([_TYPE_MESSAGE]) + _encode_varint(len(payload)) + payload
+        out.append(_TYPE_MESSAGE)
+        out += _encode_varint(len(payload))
+        out += payload
+        return
     if isinstance(value, (list, tuple)):
         parts = bytearray()
         parts += _encode_varint(len(value))
         for item in value:
-            parts += _encode_value(item)
-        return bytes([_TYPE_LIST]) + _encode_varint(len(parts)) + bytes(parts)
+            _encode_value_into(item, parts)
+        out.append(_TYPE_LIST)
+        out += _encode_varint(len(parts))
+        out += parts
+        return
     raise EncodeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _encode_value(value: Any) -> bytes:
+    """Encode a single value with its type tag."""
+    out = bytearray()
+    _encode_value_into(value, out)
+    return bytes(out)
 
 
 def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
@@ -126,8 +279,6 @@ def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
         raw, offset = _decode_varint(data, offset)
         return _decode_zigzag(raw), offset
     if tag == _TYPE_FLOAT:
-        import struct
-
         if offset + 8 > len(data):
             raise DecodeError("truncated float")
         return struct.unpack("<d", data[offset : offset + 8])[0], offset + 8
@@ -139,7 +290,7 @@ def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
             raise DecodeError("truncated string")
         raw = data[offset : offset + length]
         try:
-            return raw.decode("utf-8"), offset + length
+            return _canonical_str(raw.decode("utf-8")), offset + length
         except UnicodeDecodeError as exc:
             raise DecodeError(f"invalid utf-8 in string: {exc}") from exc
     if tag == _TYPE_MESSAGE:
@@ -172,13 +323,18 @@ def _decode_value(data: bytes, offset: int) -> tuple[Any, int]:
 def _encode_message(obj: dict) -> bytes:
     """Encode a dictionary as a sequence of key/value entries."""
     parts = bytearray()
+    key_cache = _key_cache
     for key in obj:
-        if not isinstance(key, str):
-            raise EncodeError(f"message keys must be strings, got {type(key).__name__}")
-        raw_key = key.encode("utf-8")
-        parts += _encode_varint(len(raw_key))
-        parts += raw_key
-        parts += _encode_value(obj[key])
+        encoded_key = key_cache.get(key)
+        if encoded_key is None:
+            if not isinstance(key, str):
+                raise EncodeError(f"message keys must be strings, got {type(key).__name__}")
+            raw_key = key.encode("utf-8")
+            encoded_key = _encode_varint(len(raw_key)) + raw_key
+            if len(key_cache) < _KEY_CACHE_MAX:
+                key_cache[key] = encoded_key
+        parts += encoded_key
+        _encode_value_into(obj[key], parts)
     return bytes(parts)
 
 
@@ -194,7 +350,7 @@ def _decode_message(data: bytes) -> dict:
             raise DecodeError("truncated key")
         raw_key = data[offset : offset + key_len]
         try:
-            key = raw_key.decode("utf-8")
+            key = _canonical_str(raw_key.decode("utf-8"))
         except UnicodeDecodeError as exc:
             raise DecodeError(f"invalid utf-8 in key: {exc}") from exc
         offset += key_len
@@ -207,6 +363,7 @@ def encode(obj: dict) -> bytes:
     """Serialize an API object (a nested dictionary) to wire bytes."""
     if not isinstance(obj, dict):
         raise EncodeError(f"top-level object must be a dict, got {type(obj).__name__}")
+    COUNTERS.encodes += 1
     return _encode_message(obj)
 
 
@@ -216,7 +373,62 @@ def decode(data: bytes) -> dict:
     Raises :class:`DecodeError` if the bytes are not a valid encoding —
     the situation in which the Apiserver deletes the "undecryptable"
     resource (paper §II-D).
+
+    Identical bytes always decode to identical trees, so successful decodes
+    are served from a bounded cache keyed by the exact value bytes; every
+    caller receives an independent deep copy (mutating one reader's object
+    can never leak into another reader or back into a store).  Bytes that
+    fail to decode are never cached — a corrupted value re-raises
+    :class:`DecodeError` on every read, exactly as the uncached codec did.
     """
     if not isinstance(data, (bytes, bytearray)):
         raise DecodeError(f"expected bytes, got {type(data).__name__}")
-    return _decode_message(bytes(data))
+    key = bytes(data)
+    entry = _decode_cache.get(key)
+    if entry is not None:
+        COUNTERS.decode_cache_hits += 1
+        _decode_cache.move_to_end(key)
+        blob = entry[1]
+        if blob is None:
+            # First copying read of this entry: materialize the marshal blob
+            # so every further hit is a single C-level loads.
+            blob = marshal.dumps(entry[0])
+            entry[1] = blob
+        return marshal.loads(blob)
+    COUNTERS.decodes += 1
+    obj = _decode_message(key)
+    if len(key) <= _DECODE_CACHE_VALUE_LIMIT:
+        # The cache keeps its own copy (via the blob round-trip): the tree
+        # handed back to the caller is theirs to mutate.
+        blob = marshal.dumps(obj)
+        _decode_cache[key] = [marshal.loads(blob), blob]
+        if len(_decode_cache) > _DECODE_CACHE_MAX:
+            _decode_cache.popitem(last=False)
+    return obj
+
+
+def decode_shared(data: bytes) -> dict:
+    """Like :func:`decode`, but the returned tree may be shared.
+
+    The caller must treat the result as **immutable**: on a cache hit the
+    cached tree itself is returned, with no per-caller copy.  This is the
+    right read path for the Apiserver's watch cache, which never mutates an
+    entry in place (entries are always replaced wholesale on writes).  Error
+    behaviour is identical to :func:`decode` — corrupted bytes are never
+    cached and re-raise :class:`DecodeError` on every read.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise DecodeError(f"expected bytes, got {type(data).__name__}")
+    key = bytes(data)
+    entry = _decode_cache.get(key)
+    if entry is not None:
+        COUNTERS.decode_cache_hits += 1
+        _decode_cache.move_to_end(key)
+        return entry[0]
+    COUNTERS.decodes += 1
+    obj = _decode_message(key)
+    if len(key) <= _DECODE_CACHE_VALUE_LIMIT:
+        _decode_cache[key] = [obj, None]
+        if len(_decode_cache) > _DECODE_CACHE_MAX:
+            _decode_cache.popitem(last=False)
+    return obj

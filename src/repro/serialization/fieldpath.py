@@ -5,12 +5,19 @@ which fields appear in the messages written to etcd during a golden run and
 then generates bit-flip / value-set injections per field.  Field paths are
 dotted strings; list elements are addressed by index, e.g.
 ``spec.template.spec.containers.0.image``.
+
+Paths are parsed once: :func:`compile_path` caches a :class:`CompiledPath`
+per distinct dotted string (the parts pre-split, list indexes pre-converted),
+and :func:`get_path` / :func:`set_path` / :func:`delete_path` are thin
+wrappers over the cache — callers on the hot path (the injector's mutation
+targets, the validation layer's nested lookups) stop paying a string split
+and ``int()`` conversion per call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -60,75 +67,148 @@ def iter_field_paths(obj: Any, prefix: str = "") -> Iterator[FieldRecord]:
         yield FieldRecord(path=prefix, value_type=_type_name(obj), value=obj)
 
 
-def _split(path: str) -> list[str]:
-    if not path:
-        raise KeyError("empty field path")
-    return path.split(".")
+_MISSING = object()
+
+
+class CompiledPath:
+    """A dotted field path parsed once, reusable across calls.
+
+    ``parts`` holds ``(text, index)`` pairs: ``text`` is the raw path
+    component (used for dictionary lookups), ``index`` its integer form when
+    the component can address a list element (``None`` otherwise).
+    """
+
+    __slots__ = ("path", "parts")
+
+    def __init__(self, path: str):
+        if not path:
+            raise KeyError("empty field path")
+        self.path = path
+        parts: list[tuple[str, Optional[int]]] = []
+        for text in path.split("."):
+            try:
+                index: Optional[int] = int(text)
+            except ValueError:
+                index = None
+            parts.append((text, index))
+        self.parts = tuple(parts)
+
+    def __repr__(self) -> str:
+        return f"CompiledPath({self.path!r})"
+
+    # ----------------------------------------------------------------- access
+
+    def _descend(self, node: Any, text: str, index: Optional[int]) -> Any:
+        path = self.path
+        if isinstance(node, dict):
+            if text not in node:
+                raise KeyError(f"field path component {text!r} not found in {path!r}")
+            return node[text]
+        if isinstance(node, (list, tuple)):
+            if index is None:
+                raise KeyError(f"expected list index at {text!r} in {path!r}")
+            if index >= len(node):
+                raise KeyError(f"index {index} out of range in {path!r}")
+            return node[index]
+        raise KeyError(f"cannot descend into scalar at {text!r} in {path!r}")
+
+    def get(self, obj: Any) -> Any:
+        """Return the value at this path; raise ``KeyError`` if absent."""
+        node = obj
+        for text, index in self.parts:
+            node = self._descend(node, text, index)
+        return node
+
+    def find(self, obj: Any, default: Any = None) -> Any:
+        """Return the value at this path, or ``default`` if any step is absent."""
+        node = obj
+        for text, index in self.parts:
+            if isinstance(node, dict):
+                node = node.get(text, _MISSING)
+                if node is _MISSING:
+                    return default
+            elif isinstance(node, (list, tuple)):
+                if index is None or not -len(node) <= index < len(node):
+                    return default
+                node = node[index]
+            else:
+                return default
+        return node
+
+    def set(self, obj: Any, value: Any) -> None:
+        """Set the value in place; raise ``KeyError`` if the parent is absent."""
+        node = obj
+        path = self.path
+        for text, index in self.parts[:-1]:
+            if isinstance(node, dict):
+                if text not in node:
+                    raise KeyError(f"field path component {text!r} not found in {path!r}")
+                node = node[text]
+            elif isinstance(node, list):
+                if index is None:
+                    index = int(text)  # bug-compatible: raises ValueError
+                if index >= len(node):
+                    raise KeyError(f"index {index} out of range in {path!r}")
+                node = node[index]
+            else:
+                raise KeyError(f"cannot descend into scalar at {text!r} in {path!r}")
+        text, index = self.parts[-1]
+        if isinstance(node, dict):
+            node[text] = value
+        elif isinstance(node, list):
+            if index is None:
+                index = int(text)  # bug-compatible: raises ValueError
+            if index >= len(node):
+                raise KeyError(f"index {index} out of range in {path!r}")
+            node[index] = value
+        else:
+            raise KeyError(f"cannot set field on scalar parent in {path!r}")
+
+    def delete(self, obj: Any) -> None:
+        """Remove the value at this path; raise ``KeyError`` if absent."""
+        node = obj
+        for text, index in self.parts[:-1]:
+            node = self._descend(node, text, index)
+        text, index = self.parts[-1]
+        path = self.path
+        if isinstance(node, dict):
+            if text not in node:
+                raise KeyError(f"field path {path!r} not found")
+            del node[text]
+        elif isinstance(node, list):
+            if index is None:
+                index = int(text)  # bug-compatible: raises ValueError
+            if index >= len(node):
+                raise KeyError(f"index {index} out of range in {path!r}")
+            del node[index]
+        else:
+            raise KeyError(f"cannot delete field from scalar parent in {path!r}")
+
+
+_COMPILED_CACHE_MAX = 4096
+_compiled_cache: dict[str, CompiledPath] = {}
+
+
+def compile_path(path: str) -> CompiledPath:
+    """Return the cached :class:`CompiledPath` for ``path`` (parsing it once)."""
+    compiled = _compiled_cache.get(path)
+    if compiled is None:
+        compiled = CompiledPath(path)
+        if len(_compiled_cache) < _COMPILED_CACHE_MAX:
+            _compiled_cache[path] = compiled
+    return compiled
 
 
 def get_path(obj: Any, path: str) -> Any:
     """Return the value at ``path``; raise ``KeyError`` if absent."""
-    node = obj
-    for part in _split(path):
-        if isinstance(node, dict):
-            if part not in node:
-                raise KeyError(f"field path component {part!r} not found in {path!r}")
-            node = node[part]
-        elif isinstance(node, (list, tuple)):
-            try:
-                index = int(part)
-            except ValueError as exc:
-                raise KeyError(f"expected list index at {part!r} in {path!r}") from exc
-            if index >= len(node):
-                raise KeyError(f"index {index} out of range in {path!r}")
-            node = node[index]
-        else:
-            raise KeyError(f"cannot descend into scalar at {part!r} in {path!r}")
-    return node
+    return compile_path(path).get(obj)
 
 
 def set_path(obj: Any, path: str, value: Any) -> None:
     """Set the value at ``path`` in place; raise ``KeyError`` if the parent is absent."""
-    parts = _split(path)
-    node = obj
-    for part in parts[:-1]:
-        if isinstance(node, dict):
-            if part not in node:
-                raise KeyError(f"field path component {part!r} not found in {path!r}")
-            node = node[part]
-        elif isinstance(node, list):
-            index = int(part)
-            if index >= len(node):
-                raise KeyError(f"index {index} out of range in {path!r}")
-            node = node[index]
-        else:
-            raise KeyError(f"cannot descend into scalar at {part!r} in {path!r}")
-    last = parts[-1]
-    if isinstance(node, dict):
-        node[last] = value
-    elif isinstance(node, list):
-        index = int(last)
-        if index >= len(node):
-            raise KeyError(f"index {index} out of range in {path!r}")
-        node[index] = value
-    else:
-        raise KeyError(f"cannot set field on scalar parent in {path!r}")
+    compile_path(path).set(obj, value)
 
 
 def delete_path(obj: Any, path: str) -> None:
     """Remove the value at ``path``; raise ``KeyError`` if absent."""
-    parts = _split(path)
-    parent_path = ".".join(parts[:-1])
-    parent = get_path(obj, parent_path) if parent_path else obj
-    last = parts[-1]
-    if isinstance(parent, dict):
-        if last not in parent:
-            raise KeyError(f"field path {path!r} not found")
-        del parent[last]
-    elif isinstance(parent, list):
-        index = int(last)
-        if index >= len(parent):
-            raise KeyError(f"index {index} out of range in {path!r}")
-        del parent[index]
-    else:
-        raise KeyError(f"cannot delete field from scalar parent in {path!r}")
+    compile_path(path).delete(obj)

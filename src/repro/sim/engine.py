@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.sim.rng import DeterministicRNG
@@ -21,19 +20,26 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so that events scheduled for the same
-    timestamp run in the order they were scheduled.
+    Events run in ``(time, seq)`` order so that events scheduled for the same
+    timestamp run in the order they were scheduled.  The heap itself stores
+    ``(time, seq, event)`` tuples: tuple comparison short-circuits on the two
+    floats/ints, so sifting never calls back into Python-level ``__lt__``.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def __repr__(self) -> str:
+        return f"Event(time={self.time!r}, seq={self.seq!r}, label={self.label!r})"
 
     def cancel(self) -> None:
         """Prevent the event from running when its time comes."""
@@ -87,7 +93,7 @@ class Simulation:
     """Single-threaded discrete-event simulation loop."""
 
     def __init__(self, rng: Optional[DeterministicRNG] = None):
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self.rng = rng if rng is not None else DeterministicRNG(0)
@@ -114,8 +120,9 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule event at {when:.3f}, current time is {self._now:.3f}"
             )
-        event = Event(time=when, seq=next(self._counter), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        seq = next(self._counter)
+        event = Event(time=when, seq=seq, callback=callback, label=label)
+        heapq.heappush(self._queue, (when, seq, event))
         return event
 
     def call_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -141,14 +148,15 @@ class Simulation:
         does create).
         """
         executed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.time > deadline:
+        queue = self._queue
+        while queue:
+            when = queue[0][0]
+            if when > deadline:
                 break
-            heapq.heappop(self._queue)
+            event = heapq.heappop(queue)[2]
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = when
             event.callback()
             self._events_executed += 1
             executed += 1
@@ -164,7 +172,7 @@ class Simulation:
     def step(self) -> bool:
         """Execute the next pending event; return False if the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self._now = event.time
