@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli federate DEST SOURCE [SOURCE ...]
     python -m repro.cli autofederate DEST SOURCE [SOURCE ...] [--timeout S]
     python -m repro.cli objstore [--host H] [--port P] [--max-page N]
+    python -m repro.cli serve --state DIR [--port P] [--max-campaigns N]
+    python -m repro.cli submit --server URL --results-dir DIR [--wait]
 
 or, after ``pip install -e .``, via the ``mutiny-campaign`` console script.
 
@@ -50,6 +52,17 @@ the hot-path counters of :mod:`repro.hotpath` — per-experiment encode /
 decode / validation / watch-dispatch counts and cache hit rates next to the
 functions the wall-clock actually went to (see ``docs/PERFORMANCE.md``).
 
+``serve`` runs the campaign *service*: a stateless HTTP control plane whose
+``POST /v1/campaigns`` accepts the same declarative ``CampaignSpec``
+document the ``campaign``/``submit`` flags build (one validation path for
+every surface), executes campaigns on background threads under a
+concurrent-campaign quota, and — because the only state it keeps is a tiny
+index in its transport-backed ``--state`` store — rehydrates and resumes
+every incomplete campaign after a restart.  ``submit`` is the thin client:
+flags → spec → POST, with ``--wait`` polling live progress through service
+restarts.  ``GET /v1/campaigns/{id}`` serves the byte-identical document
+``inspect --json`` writes.
+
 Very large campaigns stress the store path itself; two knobs keep it flat:
 object-store listings paginate transparently (server ``--max-page``, client
 ``MUTINY_OBJSTORE_PAGE``), and ``--shard-batch N`` on ``campaign``/``worker``
@@ -68,12 +81,12 @@ from typing import Optional
 
 from repro.core.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.distributed import (
-    DistributedSettings,
     DistributedTimeoutError,
     DistributedWorker,
     render_provenance,
 )
 from repro.core.report import (
+    document_to_bytes,
     render_campaign_summary,
     render_critical_fields,
     render_figure6,
@@ -83,9 +96,13 @@ from repro.core.report import (
     render_table4,
     render_table5,
     render_table6,
+    store_document,
 )
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
-from repro.core.transport import TransportError
+from repro.core.transport import TransportError, resolve_store_url
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.handle import CampaignHandle
+from repro.service.spec import CampaignSpec, SpecError
 from repro.workloads.workload import WorkloadKind
 
 _WORKLOADS = {kind.value: kind for kind in WorkloadKind}
@@ -203,6 +220,98 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_spec_arguments(parser: argparse.ArgumentParser, with_checkpoint: bool) -> None:
+    """Flags mapping 1:1 onto :class:`CampaignSpec` fields.
+
+    Shared by ``campaign`` (which runs the spec locally) and ``submit``
+    (which POSTs it to a service), so both surfaces accept the identical
+    vocabulary and neither re-parses anything the spec validates.
+    """
+    _add_common_arguments(parser)
+    parser.add_argument(
+        "--golden-runs",
+        type=_positive_int,
+        default=2,
+        help="golden runs per workload used for the baseline (default: 2)",
+    )
+    parser.add_argument(
+        "--max-experiments",
+        type=_non_negative_int,
+        default=60,
+        metavar="M",
+        help="experiments per workload, 0 = the full generated campaign (default: 60)",
+    )
+    results_dir_help = (
+        "stream results into a sharded gzip-JSONL store under DIR — a "
+        "directory or an objstore://host:port/bucket URL; a rerun of the "
+        "same configuration resumes from the completed shards (memory "
+        "stays bounded by one batch — use for paper-scale campaigns)"
+    )
+    if with_checkpoint:
+        persistence = parser.add_mutually_exclusive_group()
+        persistence.add_argument(
+            "--checkpoint",
+            metavar="FILE",
+            default=None,
+            help="persist results after every batch into a monolithic pickle and "
+            "resume from FILE if it exists (legacy; prefer --results-dir)",
+        )
+        persistence.add_argument(
+            "--results-dir", metavar="DIR", default=None, help=results_dir_help
+        )
+    else:
+        parser.add_argument(
+            "--results-dir",
+            metavar="DIR",
+            required=True,
+            help=results_dir_help
+            + " (required: service campaigns live in a transport-backed store)",
+        )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "distributed"),
+        default="local",
+        help="execution backend: 'local' shards across a process pool; "
+        "'distributed' makes the running process the coordinator of worker "
+        "processes sharing --results-dir (default: local)",
+    )
+    parser.add_argument(
+        "--slice-size",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="distributed: plan indexes per leased worker slice "
+        "(default: plan split into 8 slices)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.5,
+        metavar="S",
+        help="seconds between coordinator progress scans (and, for submit "
+        "--wait, between status polls) (default: 0.5)",
+    )
+    parser.add_argument(
+        "--coordinator-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="distributed: fail if the campaign is incomplete after S seconds "
+        "(default: wait forever)",
+    )
+    parser.add_argument(
+        "--shard-batch",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="finished batches coalesced per stored shard object when "
+        "streaming into --results-dir (conditional appends; same results "
+        "and digests, 1/N the stored objects; with --backend distributed "
+        "the value is published in the plan and inherited by every worker "
+        "that doesn't set its own; default: 1)",
+    )
+
+
 def _make_config(args: argparse.Namespace, max_experiments: Optional[int]) -> CampaignConfig:
     return CampaignConfig(
         workloads=args.workloads,
@@ -227,29 +336,15 @@ def _progress_printer(quiet: bool, started_at: float):
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    settings = None
-    if args.backend == "distributed":
-        if not args.results_dir:
-            print(
-                "error: --backend distributed requires --results-dir "
-                "(the directory shared with the worker processes)",
-                file=sys.stderr,
-            )
-            return 2
-        settings = DistributedSettings(
-            slice_size=args.slice_size,
-            poll_interval=args.poll_interval,
-            timeout=args.coordinator_timeout,
-        )
-    config = _make_config(args, args.max_experiments)
-    campaign = Campaign(config)
-    result = campaign.run(
-        progress=_progress_printer(args.quiet, time.monotonic()),
-        checkpoint_path=args.checkpoint,
-        results_dir=args.results_dir,
-        backend=args.backend,
-        distributed=settings,
-    )
+    # The CLI is a thin client of the same programmatic API the HTTP
+    # service speaks: flags become a CampaignSpec (the one validation
+    # path), the spec becomes a CampaignHandle, and the handle runs the
+    # engine.  SpecError surfaces through main()'s shared handler.
+    if args.results_dir:
+        args.results_dir = resolve_store_url(args.results_dir, option="--results-dir")
+    spec = CampaignSpec.from_cli_args(args)
+    handle = CampaignHandle(spec)
+    result = handle.run(progress=_progress_printer(args.quiet, time.monotonic()))
     print(render_campaign_summary(result))
     if args.tables:
         for text in (
@@ -276,10 +371,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Summarize a sharded result store without running any experiment."""
-    store = ShardedResultStore(args.results_dir)
+    root = resolve_store_url(args.results_dir, option="RESULTS_DIR")
+    store = ShardedResultStore(root)
     if not store.has_manifest():
         print(
-            f"error: {args.results_dir!r} is not a result store "
+            f"error: {root!r} is not a result store "
             "(no MANIFEST.json); point inspect at a --results-dir store",
             file=sys.stderr,
         )
@@ -289,27 +385,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     campaign = CampaignResult(results=store.all_results())
     digest = store.results_digest()
     print(render_store_summary(store, include_layout=True, campaign=campaign, digest=digest))
-    provenance = render_provenance(args.results_dir)
+    provenance = render_provenance(root)
     if provenance:
         print()
         print(provenance)
     if args.json:
-        payload = {
-            "experiments": campaign.total_experiments(),
-            "activation_rate": campaign.activation_rate(),
-            "critical_results": campaign.critical_count(),
-            "classification_counts": campaign.classification_counts(),
-            # Worker-count-independent digest of the stored records: serial
-            # and parallel runs of one campaign must produce the same value.
-            "results_digest": digest,
-            # Raw (duplicate-counting) record count: equals "experiments" iff
-            # zero experiments were replayed into a second shard, so diffing
-            # this JSON against a serial run's proves a distributed campaign
-            # (even one with a SIGKILLed worker) lost and duplicated nothing.
-            "stored_records": store.stored_record_count(),
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+        # The schema-versioned canonical document — the service's
+        # GET /v1/campaigns/{id} serves these exact bytes for the same
+        # store, so the two surfaces are diffable against each other.
+        document = store_document(store, campaign=campaign, digest=digest)
+        with open(args.json, "wb") as handle:
+            handle.write(document_to_bytes(document))
         print(f"\nwrote {args.json}")
     return 0
 
@@ -327,7 +413,7 @@ def _worker_log_printer(quiet: bool):
 def _cmd_worker(args: argparse.Namespace) -> int:
     """Run one distributed campaign worker against a shared result store."""
     worker = DistributedWorker(
-        args.results_dir,
+        resolve_store_url(args.results_dir, option="--results-dir"),
         worker_id=args.worker_id,
         workers=args.workers if args.workers is not None else 1,
         chunk_size=args.chunk_size,
@@ -362,8 +448,8 @@ def _cmd_federate(args: argparse.Namespace) -> int:
                 print(f"[{done}/{total}] records merged", file=sys.stderr)
 
     report = federate_stores(
-        args.dest,
-        args.sources,
+        resolve_store_url(args.dest, option="DEST"),
+        [resolve_store_url(source, option="SOURCE") for source in args.sources],
         shard_records=args.shard_records,
         progress=progress,
     )
@@ -383,8 +469,8 @@ def _cmd_autofederate(args: argparse.Namespace) -> int:
             print(f"[{done}/{total}] records folded", file=sys.stderr)
 
     report = autofederate_stores(
-        args.dest,
-        args.sources,
+        resolve_store_url(args.dest, option="DEST"),
+        [resolve_store_url(source, option="SOURCE") for source in args.sources],
         shard_records=args.shard_records,
         poll_interval=args.poll_interval,
         timeout=args.timeout,
@@ -400,6 +486,54 @@ def _cmd_objstore(args: argparse.Namespace) -> int:
     from repro.core.objstore import serve
 
     serve(host=args.host, port=args.port, max_page=args.max_page)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service control plane (blocking)."""
+    from repro.service.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        state_root=args.state,
+        max_campaigns=args.max_campaigns,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign spec to a running service over HTTP."""
+    if args.results_dir:
+        args.results_dir = resolve_store_url(args.results_dir, option="--results-dir")
+    spec = CampaignSpec.from_cli_args(args)
+    client = ServiceClient(args.server)
+    response = client.submit(spec)
+    campaign_id = response["id"]
+    print(f"campaign {campaign_id} ({response['state']}) at {client.base_url}")
+    print(f"fingerprint : {response['fingerprint']}")
+    print(f"store       : {spec.store_url}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(response, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if not args.wait:
+        return 0
+    status = client.wait(
+        campaign_id, timeout=args.wait_timeout, poll_interval=args.poll_interval
+    )
+    print(
+        f"campaign {campaign_id} {status['state']}: "
+        f"{status.get('completed', '?')} of {status.get('total', '?')} experiments stored"
+    )
+    if status["state"] != "complete":
+        if status.get("error"):
+            print(f"error: {status['error']}", file=sys.stderr)
+        return 1
+    if args.document:
+        with open(args.document, "wb") as handle:
+            handle.write(client.document(campaign_id))
+        print(f"wrote {args.document}")
     return 0
 
 
@@ -472,79 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = subparsers.add_parser(
         "campaign", help="run the injection campaign and print the paper's tables"
     )
-    _add_common_arguments(campaign)
-    campaign.add_argument(
-        "--golden-runs",
-        type=_positive_int,
-        default=2,
-        help="golden runs per workload used for the baseline (default: 2)",
-    )
-    campaign.add_argument(
-        "--max-experiments",
-        type=_non_negative_int,
-        default=60,
-        metavar="M",
-        help="experiments per workload, 0 = the full generated campaign (default: 60)",
-    )
-    persistence = campaign.add_mutually_exclusive_group()
-    persistence.add_argument(
-        "--checkpoint",
-        metavar="FILE",
-        default=None,
-        help="persist results after every batch into a monolithic pickle and "
-        "resume from FILE if it exists (legacy; prefer --results-dir)",
-    )
-    persistence.add_argument(
-        "--results-dir",
-        metavar="DIR",
-        default=None,
-        help="stream results into a sharded gzip-JSONL store under DIR — a "
-        "directory or an objstore://host:port/bucket URL; a rerun of the "
-        "same configuration resumes from the completed shards (memory "
-        "stays bounded by one batch — use for paper-scale campaigns)",
-    )
-    campaign.add_argument(
-        "--backend",
-        choices=("local", "distributed"),
-        default="local",
-        help="execution backend: 'local' shards across a process pool; "
-        "'distributed' makes this process the coordinator of worker "
-        "processes sharing --results-dir (default: local)",
-    )
-    campaign.add_argument(
-        "--slice-size",
-        type=_positive_int,
-        default=None,
-        metavar="K",
-        help="distributed: plan indexes per leased worker slice "
-        "(default: plan split into 8 slices)",
-    )
-    campaign.add_argument(
-        "--poll-interval",
-        type=_positive_float,
-        default=0.5,
-        metavar="S",
-        help="distributed: seconds between coordinator progress scans (default: 0.5)",
-    )
-    campaign.add_argument(
-        "--coordinator-timeout",
-        type=_positive_float,
-        default=None,
-        metavar="S",
-        help="distributed: fail if the campaign is incomplete after S seconds "
-        "(default: wait forever)",
-    )
-    campaign.add_argument(
-        "--shard-batch",
-        type=_positive_int,
-        default=1,
-        metavar="N",
-        help="finished batches coalesced per stored shard object when "
-        "streaming into --results-dir (conditional appends; same results "
-        "and digests, 1/N the stored objects; with --backend distributed "
-        "the value is published in the plan and inherited by every worker "
-        "that doesn't set its own; default: 1)",
-    )
+    _add_spec_arguments(campaign, with_checkpoint=True)
     campaign.add_argument(
         "--tables", action="store_true", help="print Tables III-V and Figures 6-7"
     )
@@ -837,6 +899,82 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: uncapped)",
     )
     objstore.set_defaults(func=_cmd_objstore)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service: a stateless HTTP control plane that "
+        "accepts CampaignSpec documents on POST /v1/campaigns, executes "
+        "them on background threads, and recovers purely from its "
+        "transport-backed state store after a restart",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8484,
+        help="bind port, 0 = pick a free one (default: 8484)",
+    )
+    serve.add_argument(
+        "--state",
+        metavar="DIR",
+        required=True,
+        help="the service's campaign index store (directory or objstore:// "
+        "URL); a restarted service pointed at the same state rehydrates "
+        "and resumes every incomplete campaign",
+    )
+    serve.add_argument(
+        "--max-campaigns",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="concurrent-campaign quota; submissions beyond it get 429 with "
+        "a Retry-After header (default: 4)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a campaign to a running service over HTTP (the same "
+        "flags as 'campaign'; the spec they build is POSTed instead of "
+        "executed in this process)",
+    )
+    _add_spec_arguments(submit, with_checkpoint=False)
+    submit.add_argument(
+        "--server",
+        metavar="URL",
+        required=True,
+        help="the service base URL (http://host:port)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the campaign's status until it reaches a terminal state "
+        "(tolerating service restarts) and exit nonzero unless complete",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="with --wait: give up after S seconds (default: wait forever)",
+    )
+    submit.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the service's submission response (id, fingerprint, "
+        "links) to FILE",
+    )
+    submit.add_argument(
+        "--document",
+        metavar="FILE",
+        default=None,
+        help="with --wait, after completion: write the campaign's canonical "
+        "inspect document (the GET /v1/campaigns/{id} bytes) to FILE",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 
@@ -847,7 +985,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.max_experiments = None
     try:
         return args.func(args)
-    except (ResultStoreMismatchError, DistributedTimeoutError, TransportError) as error:
+    except (
+        ResultStoreMismatchError,
+        DistributedTimeoutError,
+        TransportError,
+        SpecError,
+        ServiceError,
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -54,7 +54,35 @@ from repro.sim.rng import DeterministicRNG
 from repro.workloads.workload import WorkloadKind
 
 if TYPE_CHECKING:  # circular at runtime: distributed imports this module
+    import threading
+
     from repro.core.distributed import DistributedSettings
+
+class CampaignCancelledError(RuntimeError):
+    """Raised out of :meth:`Campaign.run` when its ``cancel`` event is set.
+
+    Cancellation is cooperative: the local backend checks at every finished
+    batch, the distributed coordinator at every poll round, so completed
+    shards stay durable and a later run (or service restart) of the same
+    spec resumes instead of replaying.
+    """
+
+
+def _cancellable_progress(
+    progress: Optional[ProgressCallback], cancel: Optional["threading.Event"]
+) -> Optional[ProgressCallback]:
+    """Wrap ``progress`` so a set ``cancel`` event aborts at the next batch."""
+    if cancel is None:
+        return progress
+
+    def guarded(done: int, total: int) -> None:
+        if cancel.is_set():
+            raise CampaignCancelledError("campaign run cancelled")
+        if progress is not None:
+            progress(done, total)
+
+    return guarded
+
 
 #: Kinds whose instance names are stable across runs (user- or boot-created),
 #: so a fault spec can pin the exact instance.  Names of generated objects
@@ -440,6 +468,7 @@ class Campaign:
         results_dir: Optional[str] = None,
         backend: str = "local",
         distributed: Optional["DistributedSettings"] = None,
+        cancel: Optional["threading.Event"] = None,
     ) -> CampaignResult:
         """Run the whole campaign and return its results.
 
@@ -473,11 +502,17 @@ class Campaign:
           size, poll interval, and the overall deadline.  The merged result
           (and its store digest) is identical to a local run of the same
           configuration.
+
+        ``cancel`` is an optional :class:`threading.Event`: once set, the
+        run raises :class:`CampaignCancelledError` at the next batch (local)
+        or poll round (distributed).  Completed shards survive, so a rerun
+        of the same configuration resumes.
         """
         if backend not in ("local", "distributed"):
             raise ValueError(f"unknown campaign backend {backend!r}")
         if backend == "distributed" and not results_dir:
             raise ValueError("the distributed backend requires results_dir")
+        progress = _cancellable_progress(progress, cancel)
         with self._executor(
             progress=progress, checkpoint_path=checkpoint_path, results_dir=results_dir
         ) as executor:
@@ -507,6 +542,7 @@ class Campaign:
                     prep_digest,
                     distributed,
                     progress,
+                    cancel,
                 )
             # In both layouts the prep is persisted through the executor.
             # The checkpoint re-attaches it on every write (resumed or not);
@@ -530,6 +566,7 @@ class Campaign:
         prep_digest: Optional[str],
         settings: Optional["DistributedSettings"],
         progress: Optional[ProgressCallback],
+        cancel: Optional["threading.Event"] = None,
     ) -> CampaignResult:
         """The coordinator side of a distributed campaign.
 
@@ -558,7 +595,7 @@ class Campaign:
         coordinator.publish()
         if fresh_prep is not None:
             ShardedResultStore(results_dir).save_prep(prep_digest, fresh_prep)
-        results, tally = coordinator.watch()
+        results, tally = coordinator.watch(cancel=cancel)
         return CampaignResult(
             results=results,
             baselines=baselines,

@@ -740,15 +740,23 @@ class DistributedCoordinator:
         publish_plan(self.root, plan)
         return plan
 
-    def watch(self) -> tuple[StoredResults, CampaignTally]:
+    def watch(self, cancel=None) -> tuple[StoredResults, CampaignTally]:
         """Poll the store until the campaign completes; fold streaming-wise.
 
         Each poll folds only the *newly* completed experiments into the
         tally (one shard in memory at a time), so coordinator memory stays
         bounded no matter how many workers stream shards in, and the final
         tally needs no second pass over the store.
+
+        ``cancel`` is an optional :class:`threading.Event` checked once per
+        poll round: once set, the watch raises
+        :class:`~repro.core.campaign.CampaignCancelledError` without waiting
+        for workers (their completed shards stay durable for a resume).
         """
-        from repro.core.campaign import CampaignResult  # circular at import time
+        from repro.core.campaign import (  # circular at import time
+            CampaignCancelledError,
+            CampaignResult,
+        )
 
         store = ShardedResultStore(self.root)
         tally = CampaignTally()
@@ -760,6 +768,8 @@ class DistributedCoordinator:
             else time.monotonic() + self.settings.timeout
         )
         while True:
+            if cancel is not None and cancel.is_set():
+                raise CampaignCancelledError("distributed campaign watch cancelled")
             store.refresh()
             completed = store.completed_indexes()
             fresh = sorted(index for index in completed if index not in folded)

@@ -89,6 +89,16 @@ class LocalObjectStore(ThreadingHTTPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         max_page: Optional[int] = None,
     ):
+        # Validated here, not just in the CLI's argparse layer, so embedders
+        # (tests, benchmarks, future launchers) get the same rejection: a
+        # zero/negative cap would silently produce empty or unbounded pages.
+        if max_page is not None and (
+            isinstance(max_page, bool) or not isinstance(max_page, int) or max_page < 1
+        ):
+            raise ValueError(
+                f"invalid --max-page value {max_page!r}: must be an integer >= 1 "
+                "(or omitted for uncapped listing pages)"
+            )
         super().__init__(address, _Handler)
         self.objects: dict[str, StoredObject] = {}
         self.lock = threading.Lock()

@@ -8,6 +8,7 @@ benchmark run regenerates the paper's artifacts from the simulated campaign.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Optional
 
 from repro.core import ffda
@@ -94,6 +95,81 @@ def render_store_summary(
             f"\nresults digest     : {digest if digest else store.results_digest()}"
         )
     return text
+
+
+# --------------------------------------------------------------------------
+# Canonical machine-readable documents (inspect --json and GET /v1/…)
+# --------------------------------------------------------------------------
+
+
+#: Schema version of :func:`store_document` / :func:`tables_document`.  Bump
+#: it whenever a field is renamed, removed, or changes meaning — consumers
+#: (CI diffs, the HTTP API's clients) key on it.
+STORE_DOCUMENT_SCHEMA = 1
+
+
+def store_document(
+    store,
+    campaign: Optional[CampaignResult] = None,
+    digest: Optional[str] = None,
+) -> dict:
+    """The canonical machine-readable summary of a sharded result store.
+
+    One document, two surfaces: ``repro.cli inspect --json`` writes it and
+    ``GET /v1/campaigns/{id}`` serves it — byte-identical for the same store
+    (serialize with :func:`document_to_bytes`).  Every field is
+    worker-count-independent except ``stored_records``, which equals
+    ``experiments`` iff zero experiments were replayed into a second shard,
+    so diffing this document against a serial run's proves a distributed
+    campaign (even one with a SIGKILLed worker) lost and duplicated nothing.
+    """
+    if campaign is None:
+        campaign = CampaignResult(results=store.all_results())
+    return {
+        "schema": STORE_DOCUMENT_SCHEMA,
+        "experiments": campaign.total_experiments(),
+        "activation_rate": campaign.activation_rate(),
+        "critical_results": campaign.critical_count(),
+        "classification_counts": campaign.classification_counts(),
+        "results_digest": digest if digest is not None else store.results_digest(),
+        "stored_records": store.stored_record_count(),
+    }
+
+
+def tables_document(campaign: CampaignResult) -> dict:
+    """The paper's tables as one JSON-ready document (the ``/tables`` body).
+
+    Tables IV and V arrive keyed ``(workload, family)`` from the tally;
+    JSON objects need string keys, so they nest as
+    ``{workload: {family: {label: count}}}``.
+    """
+
+    def nest(counts: dict) -> dict:
+        nested: dict = {}
+        for (workload, family), row_counts in sorted(counts.items()):
+            nested.setdefault(workload, {})[family] = dict(row_counts)
+        return nested
+
+    return {
+        "schema": STORE_DOCUMENT_SCHEMA,
+        "experiments": campaign.total_experiments(),
+        "activation_rate": campaign.activation_rate(),
+        "critical_results": campaign.critical_count(),
+        "classification_counts": campaign.classification_counts(),
+        "table3_of_cf_matrix": campaign.of_cf_matrix(),
+        "table4_orchestrator_failures": nest(campaign.of_counts()),
+        "table5_client_failures": nest(campaign.cf_counts()),
+    }
+
+
+def document_to_bytes(document: dict) -> bytes:
+    """Serialize a document to its canonical bytes.
+
+    The one serialization both surfaces use — ``indent=2, sort_keys=True``,
+    UTF-8, no trailing newline — so "CLI file and HTTP body are identical"
+    is a byte-for-byte guarantee, not a semantic one.
+    """
+    return json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
 
 
 # --------------------------------------------------------------------------

@@ -291,6 +291,45 @@ def transport_for(root: str) -> ShardTransport:
     return PosixTransport(root)
 
 
+class StoreURLError(TransportError):
+    """A store root string is malformed (bad scheme, missing bucket, …)."""
+
+
+#: URL schemes that look like remote stores but have no transport here.
+#: Named explicitly so a typo'd ``objstore://`` or an S3 URL fails with a
+#: message instead of being treated as a relative POSIX directory.
+_FOREIGN_SCHEMES = ("s3", "gs", "gcs", "http", "https", "file", "ftp")
+
+
+def resolve_store_url(value: str, option: str = "store URL") -> str:
+    """Validate a ``results_dir``-or-``objstore://`` string and return it.
+
+    The single place the CLI, the campaign spec, and the service decide
+    what a store root string means.  ``objstore://host:port/bucket`` URLs
+    must parse (host and bucket present), recognisable foreign schemes
+    (``s3://``, ``https://``, …) are rejected rather than silently treated
+    as directory names, and everything else is a POSIX path.  Raises
+    :class:`StoreURLError` naming both ``option`` (the flag or field the
+    string came from) and the offending URL.
+    """
+    if not isinstance(value, str) or not value.strip():
+        raise StoreURLError(f"{option} must name a directory or {OBJECT_STORE_SCHEME}:// URL, got {value!r}")
+    root = value.strip()
+    if root.startswith(f"{OBJECT_STORE_SCHEME}://"):
+        try:
+            ObjectStoreTransport(root)
+        except ValueError as error:
+            raise StoreURLError(f"{option}: {error}") from None
+        return root
+    scheme, separator, _ = root.partition("://")
+    if separator and scheme.lower() in _FOREIGN_SCHEMES:
+        raise StoreURLError(
+            f"{option}: unsupported store scheme {scheme!r} in {root!r} "
+            f"(expected a directory path or {OBJECT_STORE_SCHEME}://host:port/bucket)"
+        )
+    return root
+
+
 # --------------------------------------------------------------------------
 # POSIX (shared directory)
 # --------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+"""Campaign-as-a-service: the programmatic and HTTP control plane.
+
+The engine's one public submission surface: :class:`CampaignSpec` describes
+a campaign (dict/JSON round-trippable, one validation path for CLI and
+HTTP), :class:`CampaignHandle` executes one (submit/poll/result/cancel),
+and :mod:`repro.service.server` multiplexes many handles behind a stateless
+``/v1`` JSON API whose only persistence is the transport-backed store.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.handle import CampaignHandle
+from repro.service.server import (
+    CampaignService,
+    CampaignServiceServer,
+    ServiceQuotaError,
+    UnknownCampaignError,
+    serve,
+)
+from repro.service.spec import CampaignSpec, SpecError
+
+__all__ = [
+    "CampaignHandle",
+    "CampaignService",
+    "CampaignServiceServer",
+    "CampaignSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceQuotaError",
+    "SpecError",
+    "UnknownCampaignError",
+    "serve",
+]

@@ -1,0 +1,169 @@
+"""Stdlib HTTP client for the campaign service.
+
+``repro.cli submit`` and the tests drive the service through this client so
+the wire protocol has exactly one encoder/decoder on each side.  Built on
+``http.client`` (no new dependency), with the polling loop tolerating the
+transient connection failures a restarting service produces — that is the
+point of the statelessness guarantee.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Optional
+
+from repro.service.spec import CampaignSpec
+
+#: Handle states after which polling stops.
+TERMINAL_STATES = ("complete", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one campaign service."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(
+                f"invalid service URL {base_url!r} (expected http://host:port)"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -------------------------------------------------------------- plumbing
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple[int, bytes, dict]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, raw, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    def _request_json(self, method: str, path: str, body: Optional[dict] = None) -> Any:
+        status, raw, headers = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, _error_message(raw), _retry_after(headers))
+        return json.loads(raw) if raw else None
+
+    # ------------------------------------------------------------ operations
+
+    def healthy(self) -> bool:
+        try:
+            status, _, _ = self._request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200
+
+    def ready(self) -> bool:
+        try:
+            status, _, _ = self._request("GET", "/readyz")
+        except OSError:
+            return False
+        return status == 200
+
+    def submit(self, spec: CampaignSpec) -> dict:
+        return self._request_json("POST", "/v1/campaigns", spec.to_dict())
+
+    def campaigns(self) -> list[dict]:
+        return self._request_json("GET", "/v1/campaigns")["campaigns"]
+
+    def describe(self, campaign_id: str) -> dict:
+        return self._request_json("GET", f"/v1/campaigns/{campaign_id}/status")
+
+    def status(self, campaign_id: str) -> dict:
+        return self.describe(campaign_id)
+
+    def tables(self, campaign_id: str) -> dict:
+        return self._request_json("GET", f"/v1/campaigns/{campaign_id}/tables")
+
+    def document(self, campaign_id: str) -> bytes:
+        """The campaign's canonical inspect document, as raw bytes — callers
+        diff these against a CLI-written file, so no decode/re-encode."""
+        status, raw, headers = self._request("GET", f"/v1/campaigns/{campaign_id}")
+        if status >= 400:
+            raise ServiceError(status, _error_message(raw), _retry_after(headers))
+        return raw
+
+    def cancel(self, campaign_id: str) -> dict:
+        return self._request_json("DELETE", f"/v1/campaigns/{campaign_id}")
+
+    # --------------------------------------------------------------- polling
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.5,
+    ) -> dict:
+        """Poll ``/status`` until the campaign reaches a terminal state.
+
+        Connection failures and 5xx answers are tolerated up to the deadline
+        — a service being restarted mid-campaign is an expected condition,
+        not an error, and the campaign's state survives it by construction.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                status = self.describe(campaign_id)
+            except (OSError, ServiceError) as error:
+                if isinstance(error, ServiceError) and error.status < 500:
+                    raise
+                status = None
+            if status is not None and status.get("state") in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} not terminal after {timeout}s "
+                    f"(last status: {status})"
+                )
+            time.sleep(poll_interval)
+
+    def wait_ready(self, timeout: float = 30.0, poll_interval: float = 0.2) -> None:
+        """Block until ``/readyz`` answers 200 (startup / restart helper)."""
+        deadline = time.monotonic() + timeout
+        while not self.ready():
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"service {self.base_url} not ready after {timeout}s")
+            time.sleep(poll_interval)
+
+
+def _error_message(raw: bytes) -> str:
+    try:
+        return json.loads(raw)["error"]
+    except (ValueError, KeyError, TypeError):
+        return raw.decode("utf-8", "replace") or "no error body"
+
+
+def _retry_after(headers: dict) -> Optional[float]:
+    value = headers.get("Retry-After")
+    try:
+        return float(value) if value is not None else None
+    except ValueError:
+        return None
