@@ -100,6 +100,7 @@ from repro.core.report import (
 )
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
 from repro.core.transport import TransportError, resolve_store_url
+from repro.lint import EXPLANATIONS, KNOWN_CODES, TITLES, LintUsageError, lint_paths
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.handle import CampaignHandle
 from repro.service.spec import CampaignSpec, SpecError
@@ -596,6 +597,38 @@ def _cmd_propagation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        code = args.explain.strip().upper()
+        explanation = EXPLANATIONS.get(code)
+        if explanation is None:
+            raise LintUsageError(
+                f"unknown code {code!r} (known: {', '.join(KNOWN_CODES)})"
+            )
+        print(f"{code}: {TITLES[code]}")
+        print()
+        print(explanation.rstrip())
+        return 0
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    codes = None
+    if args.codes is not None:
+        codes = [code for chunk in args.codes for code in chunk.split(",")]
+    report = lint_paths(paths, codes=codes)
+
+    if args.format == "json":
+        print(json.dumps(report.to_document(), indent=2, sort_keys=True))
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render())
+        summary = (
+            f"{len(report.diagnostics)} finding(s) in {report.files_checked} "
+            f"file(s) checked"
+        )
+        print(summary if report.diagnostics else f"clean: {summary}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mutiny-campaign",
@@ -975,6 +1008,42 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect document (the GET /v1/campaigns/{id} bytes) to FILE",
     )
     submit.set_defaults(func=_cmd_submit)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run mutiny-lint, the AST checker that enforces the repo's "
+        "cross-layer contracts (informer immutability, transport purity, "
+        "determinism, lock discipline, swallowed exceptions)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--codes",
+        action="append",
+        default=None,
+        metavar="MUTnnn[,MUTnnn...]",
+        help="restrict to these codes (repeatable or comma-separated; "
+        f"known: {', '.join(KNOWN_CODES)})",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text; json is schema-versioned)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="MUTnnn",
+        default=None,
+        help="print the contract behind a code (what it enforces, the "
+        "motivating bug, the correct pattern) and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
@@ -991,6 +1060,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         TransportError,
         SpecError,
         ServiceError,
+        LintUsageError,
     ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

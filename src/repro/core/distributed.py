@@ -284,6 +284,11 @@ class SliceLeases:
     worker provenance.
     """
 
+    # Frozen after __init__ (enforced by mutiny-lint MUT004): one instance
+    # is shared lock-free with the heartbeat thread, which is only sound
+    # while nothing mutates after construction.
+    _lock_guarded = ()
+
     def __init__(self, root: str, ttl: float = DEFAULT_LEASE_TTL):
         self.root = root
         self.transport = transport_for(root)

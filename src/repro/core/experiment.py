@@ -344,6 +344,7 @@ class ExperimentRunner:
 
         try:
             pods = cluster.client.list("Pod", namespace="default")
+        # mutiny-lint: disable=MUT005 -- deliberate: observation collection is best-effort; a failed listing yields zero-valued observations rather than a failed experiment
         except Exception:  # noqa: BLE001 - collection must never fail the experiment
             pods = []
         restarts = 0

@@ -325,6 +325,7 @@ def load_checkpoint_prep(path: str, fingerprint: str) -> Optional[list]:
         if payload.get("version") != CHECKPOINT_VERSION or not isinstance(prep, dict):
             return None
         stored = prep.get("fingerprint")
+    # mutiny-lint: disable=MUT005 -- deliberate: an unreadable checkpoint degrades to recomputation; the plan-mismatch case still raises below
     except Exception:  # noqa: BLE001 - any unreadable file just means "recompute"
         return None
     if stored != fingerprint:

@@ -42,6 +42,7 @@ import hashlib
 import io
 import json
 import pickle
+import threading
 from dataclasses import fields as dataclass_fields
 from typing import Any, Iterable, Iterator, Optional
 
@@ -315,6 +316,7 @@ class ShardedResultStore:
             stored = payload.get("fingerprint")
         except TransportKeyError:
             return None
+        # mutiny-lint: disable=MUT005 -- deliberate: unreadable prep degrades to recomputation; the fingerprint mismatch case still raises below
         except Exception:  # noqa: BLE001 - unreadable prep just means "recompute"
             return None
         if stored != fingerprint:
@@ -570,9 +572,11 @@ class BatchedShardWriter:
     keyed by plan index, and duplicate records are byte-identical by
     determinism.
 
-    One writer serves one worker's batch loop; it is not thread-safe (each
-    executor/worker process builds its own, exactly like the store's other
-    writers).
+    One writer serves one worker's batch loop; the open-group bookkeeping
+    (``_key``/``_generation``/``_batches_in_group``) is nevertheless guarded
+    by ``self._lock`` — a threaded executor that hands one writer to several
+    submitters must not tear the group state, and the lock's cost is noise
+    next to the store round-trip it wraps.
 
     Trade-off to know: every append gives the open shard a new generation,
     so a poller that scans between appends re-downloads and re-parses the
@@ -582,11 +586,15 @@ class BatchedShardWriter:
     tail parse is the upgrade path if a profile ever says otherwise.
     """
 
+    # Guarded by self._lock (enforced by mutiny-lint MUT004).
+    _lock_guarded = ("_key", "_generation", "_batches_in_group")
+
     def __init__(self, store: ShardedResultStore, batches_per_shard: int):
         if batches_per_shard < 1:
             raise ValueError(f"batches_per_shard must be >= 1, got {batches_per_shard}")
         self.store = store
         self.batches_per_shard = batches_per_shard
+        self._lock = threading.Lock()
         self._key: Optional[str] = None
         self._generation: Optional[str] = None
         self._batches_in_group = 0
@@ -602,6 +610,10 @@ class BatchedShardWriter:
         if not records:
             raise ValueError("refusing to write an empty batch")
         member = _encode_member(records)
+        with self._lock:
+            return self._write_member_locked(records, member)
+
+    def _write_member_locked(self, records: list[tuple[int, dict]], member: bytes) -> str:
         transport = self.store.transport
         if (
             self._key is not None

@@ -1,0 +1,46 @@
+"""mutiny-lint: AST-based enforcement of the repo's cross-layer contracts.
+
+Five checkers (``MUT001``–``MUT005``) mechanize conventions that previous
+PRs established in docstrings and review — informer ``copy=False``
+immutability, ShardTransport purity, digest determinism, lock discipline,
+no swallowed exceptions — plus a hygiene code (``MUT000``) for the lint
+machinery itself.  Stdlib-only by design; run via ``repro.cli lint``.
+"""
+
+from repro.lint.framework import (
+    HYGIENE_CODE,
+    Checker,
+    Diagnostic,
+    LintFile,
+    Suppression,
+    parse_suppressions,
+)
+from repro.lint.runner import (
+    ALL_CHECKERS,
+    EXPLANATIONS,
+    JSON_SCHEMA_VERSION,
+    KNOWN_CODES,
+    TITLES,
+    LintReport,
+    LintUsageError,
+    lint_paths,
+    select_codes,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Diagnostic",
+    "EXPLANATIONS",
+    "HYGIENE_CODE",
+    "JSON_SCHEMA_VERSION",
+    "KNOWN_CODES",
+    "LintFile",
+    "LintReport",
+    "LintUsageError",
+    "Suppression",
+    "TITLES",
+    "lint_paths",
+    "parse_suppressions",
+    "select_codes",
+]

@@ -1,0 +1,188 @@
+"""MUT003 — digest-determinism checker.
+
+The repo's single most load-bearing invariant is that serial, parallel,
+distributed, federated, and service-run campaigns of one configuration
+produce **byte-identical digests** — every CI smoke job diffs exactly that.
+The invariant holds only while campaign-affecting code draws time from the
+simulated clock (:class:`repro.sim.engine`) and randomness from the seeded
+per-purpose streams of :mod:`repro.sim.rng`.  One ``time.time()`` or
+``random.random()`` in a controller puts wall-clock or interpreter-global
+RNG state into results, and the divergence surfaces as an unexplainable
+digest mismatch hours later in a smoke job.
+
+This checker bans wall-clock reads (``time.time``/``time.time_ns``, any
+``datetime`` use), ambient randomness (any ``random``/``secrets`` use,
+``os.urandom``, ``uuid.uuid1``/``uuid4``), and unseeded ``Random()``
+construction across the simulation, controller, and campaign-pipeline
+modules.  Monotonic pacing (``time.monotonic``, ``time.sleep``,
+``time.perf_counter``) is allowed — it schedules work, it never lands in a
+result.  ``sim/rng.py`` is exempt (it *is* the sanctioned wrapper), and the
+slice-lease liveness sites in ``core/distributed.py`` are allowlisted:
+lease mtimes are wall-clock by design (hosts run NTP; the protocol docs
+cover skew) and leases are storage layout, never results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Checker, dotted_name
+
+#: Package directories whose every module is campaign-digest-affecting.
+SCOPE_DIRS = frozenset(
+    {
+        "sim", "controllers", "apiserver", "cluster", "etcd", "kubelet",
+        "scheduler", "network", "monitoring", "objects", "workloads",
+        "serialization",
+    }
+)
+
+#: Individual campaign-pipeline files under core/.
+SCOPE_FILES = frozenset(
+    {
+        ("core", "injector.py"),
+        ("core", "experiment.py"),
+        ("core", "campaign.py"),
+        ("core", "classification.py"),
+        ("core", "analysis.py"),
+        ("core", "parallel.py"),
+        ("core", "resultstore.py"),
+        ("core", "federate.py"),
+        ("core", "distributed.py"),
+    }
+)
+
+#: The sanctioned seeded-randomness wrapper itself.
+EXEMPT_FILES = frozenset({("sim", "rng.py")})
+
+#: (file, qualname prefix) pairs allowed to read the wall clock.  Slice
+#: leases judge liveness by mtime age: wall-clock by design, documented in
+#: the distributed protocol, and never part of a result record.
+WALL_CLOCK_ALLOWLIST: tuple[tuple[tuple[str, str], str], ...] = (
+    (("core", "distributed.py"), "SliceLeases."),
+)
+
+#: Banned dotted calls (exact).
+BANNED_CALLS = frozenset({"time.time", "time.time_ns", "os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: Modules banned outright in scope (import or use).
+BANNED_MODULES = frozenset({"random", "secrets", "datetime"})
+
+
+class DeterminismChecker(Checker):
+    code = "MUT003"
+    name = "determinism"
+    title = "Wall-clock or ambient randomness in campaign-affecting code"
+    explanation = """\
+Contract (PRs 1-7, asserted by every CI smoke job): serial, parallel,
+distributed, federated, and service-run executions of one campaign
+configuration produce byte-identical result digests.  That only holds if
+campaign-affecting code takes time exclusively from the simulated clock
+(`sim/engine.py` event time) and randomness exclusively from the seeded
+per-purpose streams of `sim/rng.py` (`DeterministicRNG.stream(name)` —
+seeds are fixed at planning time so outcomes cannot depend on which worker
+runs a task).
+
+Banned in `sim/`, `controllers/`, `apiserver/`, `cluster/`, `etcd/`,
+`kubelet/`, `scheduler/`, `network/`, `monitoring/`, `objects/`,
+`workloads/`, `serialization/`, and the campaign pipeline under `core/`
+(injector, experiment, campaign, classification, analysis, parallel,
+resultstore, federate, distributed):
+
+  * `time.time()` / `time.time_ns()` — wall-clock into results
+  * any `datetime` use — same, with timezones on top
+  * any `random` / `secrets` module use, `os.urandom`, `uuid.uuid1/uuid4`
+    — interpreter-global or OS randomness that ignores the campaign seed
+  * `Random()` constructed without a seed argument
+
+Allowed: `time.monotonic`, `time.sleep`, `time.perf_counter` — pacing and
+deadlines schedule work but never land in a result record.
+
+Exemptions: `sim/rng.py` is the sanctioned wrapper (it derives named
+`random.Random` streams from the campaign seed).  The `SliceLeases` class
+in `core/distributed.py` is allowlisted in the checker itself: lease
+liveness is mtime age, wall-clock by design (the protocol documents the
+NTP/skew assumptions), and leases are storage coordination — they never
+affect which results are computed or stored.
+"""
+
+    @classmethod
+    def applies_to(cls, relparts: tuple[str, ...]) -> bool:
+        tail = tuple(relparts[-2:])
+        if tail in EXEMPT_FILES:
+            return False
+        if tail in SCOPE_FILES:
+            return True
+        return bool(relparts) and relparts[0] in SCOPE_DIRS
+
+    def __init__(self, file):
+        super().__init__(file)
+        self._qualname: list[str] = []
+
+    # ------------------------------------------------------------ allowlist
+
+    def _allowlisted(self) -> bool:
+        tail = tuple(self.file.relparts[-2:])
+        qualname = ".".join(self._qualname) + "."
+        for allowed_tail, prefix in WALL_CLOCK_ALLOWLIST:
+            if tail == allowed_tail and qualname.startswith(prefix):
+                return True
+        return False
+
+    def _ban(self, node: ast.AST, what: str) -> None:
+        if self._allowlisted():
+            return
+        self.report(
+            node,
+            f"{what} in campaign-digest-affecting code; use the simulated "
+            "clock / seeded sim/rng.py streams (pacing via time.monotonic "
+            "is fine)",
+        )
+
+    # ----------------------------------------------------- qualname tracking
+
+    def _visit_scoped(self, node, label: str) -> None:
+        self._qualname.append(label)
+        self.generic_visit(node)
+        self._qualname.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    # -------------------------------------------------------------- imports
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in BANNED_MODULES:
+                self._ban(node, f"import of {alias.name!r}")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")[0]
+        if module in BANNED_MODULES:
+            self._ban(node, f"import from {node.module!r}")
+
+    # ---------------------------------------------------------------- calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            if dotted in BANNED_CALLS:
+                self._ban(node, f"{dotted}()")
+            else:
+                root = dotted.split(".")[0]
+                if root in BANNED_MODULES:
+                    self._ban(node, f"{dotted}()")
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            self._ban(node, "unseeded Random()")
+        self.generic_visit(node)

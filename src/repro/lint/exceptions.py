@@ -1,0 +1,115 @@
+"""MUT005 — swallowed-exception checker.
+
+PR 5's worst bug was a heartbeat daemon thread whose body ended in
+``except Exception: pass``: the thread died silently, the lease expired,
+and a second worker double-claimed the slice — the failure surfaced as a
+digest mismatch with no log line pointing anywhere near the cause.  A
+swallowed exception converts a loud, attributable crash into distributed
+corruption, which is precisely the failure-propagation pattern the Mutiny
+paper catalogs.
+
+This checker flags every ``except`` handler that is **broad** (bare
+``except:``, ``except Exception``, ``except BaseException``, or a tuple
+containing either) and **discards** the error: the body neither re-raises
+(``raise`` / ``raise X from err``) nor uses the bound exception name in any
+way (logging it, recording it on a result, wrapping it).  Narrow handlers
+(``except KeyError:``) are out of scope — catching a specific exception and
+choosing a fallback is ordinary control flow; it is the catch-everything-
+say-nothing pattern that hides bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import Checker
+
+#: Exception names considered catch-all.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(exception_type: ast.expr | None) -> bool:
+    if exception_type is None:  # bare except:
+        return True
+    if isinstance(exception_type, ast.Name):
+        return exception_type.id in BROAD_NAMES
+    if isinstance(exception_type, ast.Attribute):
+        return exception_type.attr in BROAD_NAMES
+    if isinstance(exception_type, ast.Tuple):
+        return any(_is_broad(element) for element in exception_type.elts)
+    return False
+
+
+def _raises(node: ast.AST) -> bool:
+    """Whether the subtree contains a ``raise``, not counting nested defs
+    (a ``raise`` inside a nested function runs later, if ever — it does not
+    re-raise on behalf of this handler)."""
+    if isinstance(node, ast.Raise):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return False
+    return any(_raises(child) for child in ast.iter_child_nodes(node))
+
+
+def _body_raises(body: list[ast.stmt]) -> bool:
+    return any(_raises(statement) for statement in body)
+
+
+def _body_uses_name(body: list[ast.stmt], name: str) -> bool:
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+class SwallowedExceptionChecker(Checker):
+    code = "MUT005"
+    name = "swallowed-exception"
+    title = "Broad except handler that discards the error"
+    explanation = """\
+Contract (PR 5 post-mortem): no code path — least of all a daemon-thread
+body — may catch everything and discard the error.  The motivating bug was
+the slice-lease heartbeat thread: an `except Exception: pass` around the
+refresh call meant a transport outage killed the heartbeat silently, the
+lease expired while the worker kept computing, a second worker claimed the
+slice, and the campaign digest diverged with zero log evidence.  A
+swallowed exception turns a crash you can attribute into corruption you
+cannot.
+
+Flagged: any handler that is broad — bare `except:`, `except Exception`,
+`except BaseException`, or a tuple containing either — whose body neither
+re-raises nor uses the bound error in any way (no `raise`, no
+`raise New(...) from err`, no logging/recording of `err`).
+
+Not flagged:
+
+  * narrow handlers (`except KeyError: return default`) — choosing a
+    fallback for a specific, anticipated exception is control flow;
+  * broad handlers that *consume* the error: re-raise it, wrap it
+    (`raise CampaignError(...) from err`), record it
+    (`self._error = err`, `errors.append(str(err))`), or log it;
+  * intentional last-resort barriers, which carry a justified
+    suppression naming where the error goes instead.
+
+Correct pattern for a thread body that must not die invisibly:
+
+    try:
+        self._refresh_loop()
+    except Exception as err:
+        with self._lock:
+            self._error = err       # surfaced to join()/result()
+"""
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _is_broad(node.type):
+            uses_error = node.name is not None and _body_uses_name(node.body, node.name)
+            if not _body_raises(node.body) and not uses_error:
+                caught = "bare except" if node.type is None else "broad except"
+                self.report(
+                    node,
+                    f"{caught} swallows the error (no re-raise, error object "
+                    "unused); record it, wrap it, or re-raise — a silent "
+                    "handler turns crashes into unattributable corruption",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,220 @@
+"""MUT001 — informer-contract mutation checker.
+
+PR 6 made ``APIServer.get/list`` (and the client wrappers) return *references
+into the watch cache* under ``copy=False``: entries are immutable by
+convention, every legitimate write replaces the cached object wholesale via
+the apiserver.  A consumer that mutates such a reference in place corrupts
+the shared snapshot every other controller reads — silently, until a digest
+diverges three layers away.  This checker mechanizes the convention: any
+name bound from a ``.get(..., copy=False)`` / ``.list(..., copy=False)``
+call (or iterated out of one) is *tainted*, and attribute/item assignment or
+a mutating method call on it is a finding unless the name was first rebound
+through :func:`repro.objects.meta.deep_copy`.
+
+The analysis is intraprocedural and lexical (statements in source order, one
+symbol table per function).  Taint does not flow through function calls or
+parameters — the checker is a convention gate for the common direct pattern,
+not an escape analysis; the copy-on-write sites it cannot see are the ones
+code review still owns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.framework import Checker, root_name
+
+#: Methods whose call mutates their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "sort", "reverse", "add", "discard",
+    }
+)
+
+#: Accessor names whose ``copy=False`` form returns cache references.
+CACHE_READERS = frozenset({"get", "list"})
+
+
+def _is_copy_false_read(node: ast.AST) -> bool:
+    """``<obj>.get(..., copy=False)`` or ``<obj>.list(..., copy=False)``."""
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr not in CACHE_READERS:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+def _is_deep_copy_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "deep_copy"
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr == "deep_copy"
+    return False
+
+
+class InformerMutationChecker(Checker):
+    code = "MUT001"
+    name = "informer-mutation"
+    title = "Mutation of a copy=False informer cache reference"
+    explanation = """\
+Contract (PR 6): `APIServer.get`/`list` and the client wrappers return
+*references into the apiserver watch cache* when called with `copy=False`.
+Those objects are shared by every controller, the metrics scraper, the
+network layer, and the injector's field recorder; they are immutable by
+convention — all legitimate writes replace the cached entry wholesale
+through `client.update(...)`/`update_status(...)`.
+
+Mutating a cache reference in place bypasses the apiserver entirely: no
+revision bump, no watch event, no admission/validation pass — every other
+reader sees the edit immediately and the campaign digest diverges from the
+serial baseline in a way nothing logs.  This is exactly the silent
+cross-layer contract violation the Mutiny paper (DSN 2024) documents as the
+dominant Kubernetes failure pattern.
+
+Correct pattern — copy at the mutation point, then write back:
+
+    pod = deep_copy(pod)          # listed refs are read-only
+    pod["metadata"]["ownerReferences"].append(ref)
+    client.update("Pod", pod)
+
+The checker taints names bound from `.get(..., copy=False)` /
+`.list(..., copy=False)` calls (and loop variables iterating them) and
+flags attribute/item assignment, `del`, augmented assignment, and mutating
+method calls (`append`, `update`, `setdefault`, ...) through them.
+Rebinding a name via `deep_copy(...)` clears its taint.  The analysis is
+per-function and lexical; taint does not cross call boundaries.
+"""
+
+    def __init__(self, file):
+        super().__init__(file)
+        #: name -> (line of the copy=False read, kind) per function.  Kind
+        #: "ref": the name is (or may be) a cache reference — any in-place
+        #: mutation is a finding.  Kind "elements": the name is a fresh
+        #: container whose *elements* are cache refs — mutating the
+        #: container is fine, but iterating it yields "ref"-tainted names.
+        self._tainted: dict[str, tuple[int, str]] = {}
+
+    # ------------------------------------------------------------- functions
+
+    def _visit_function(self, node) -> None:
+        outer = self._tainted
+        self._tainted = {}
+        for statement in node.body:
+            self.visit(statement)
+        self._tainted = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # ----------------------------------------------------------------- taint
+
+    def _taints_from_value(self, value: ast.AST) -> Optional[tuple[int, str]]:
+        """The ``(line, kind)`` taint a value expression carries, or ``None``."""
+        if _is_copy_false_read(value):
+            return (value.lineno, "ref")
+        if isinstance(value, ast.Name) and value.id in self._tainted:
+            return self._tainted[value.id]
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            # A comprehension over a tainted iterable builds a *fresh*
+            # container whose items are cache refs — unless every element is
+            # routed through deep_copy.
+            if _is_deep_copy_call(value.elt):
+                return None
+            for generator in value.generators:
+                taint = self._taints_from_value(generator.iter)
+                if taint is not None:
+                    return (taint[0], "elements")
+        return None
+
+    def _bind(self, target: ast.AST, taint: Optional[tuple[int, str]]) -> None:
+        if isinstance(target, ast.Name):
+            if taint is None:
+                self._tainted.pop(target.id, None)
+            else:
+                self._tainted[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+
+    def _flag_if_tainted(self, node: ast.AST, action: str) -> None:
+        name = root_name(node)
+        if name is None:
+            return
+        taint = self._tainted.get(name)
+        if taint is not None and taint[1] == "ref":
+            self.report(
+                node,
+                f"{action} through {name!r}, a copy=False informer cache "
+                f"reference (read at line {taint[0]}); "
+                "deep_copy() it before mutating, then write back via the "
+                "apiserver",
+            )
+
+    # ------------------------------------------------------------ statements
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node.value)  # nested mutating calls inside value
+        taint = None if _is_deep_copy_call(node.value) else self._taints_from_value(node.value)
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._flag_if_tainted(target, "item/attribute assignment")
+            else:
+                self._bind(target, taint)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node.value)
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            self._flag_if_tainted(node.target, "augmented assignment")
+        elif isinstance(node.target, ast.Name):
+            taint = self._tainted.get(node.target.id)
+            if taint is not None and taint[1] == "ref":
+                self.report(
+                    node,
+                    f"augmented assignment to {node.target.id!r}, a copy=False "
+                    f"informer cache reference (read at line {taint[0]}); "
+                    "deep_copy() it first",
+                )
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.generic_visit(node.value)
+            taint = None if _is_deep_copy_call(node.value) else self._taints_from_value(node.value)
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                self._flag_if_tainted(node.target, "item/attribute assignment")
+            else:
+                self._bind(node.target, taint)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._flag_if_tainted(target, "del")
+            elif isinstance(target, ast.Name):
+                self._tainted.pop(target.id, None)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.generic_visit(node.iter)
+        # Iterating either taint kind yields cache references: items of a
+        # copy=False list are refs, and so are items of a fresh container
+        # built from one.
+        taint = self._taints_from_value(node.iter)
+        self._bind(node.target, (taint[0], "ref") if taint is not None else None)
+        for statement in node.body + node.orelse:
+            self.visit(statement)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            self._flag_if_tainted(node.func.value, f"mutating call .{node.func.attr}()")
+        self.generic_visit(node)

@@ -1,0 +1,229 @@
+"""MUT004 — lock-discipline checker.
+
+The threaded classes of the service and store layers (``CampaignService``
+serving concurrent HTTP handlers, ``CampaignHandle`` bridging a background
+campaign thread, ``BatchedShardWriter`` shared by a worker's batch loop,
+``SliceLeases`` shared with the heartbeat thread) guard their mutable state
+with ``self._lock`` — by convention.  PR 5's heartbeat bug (state read off
+the lock in a daemon thread) is the class of defect this checker closes:
+the convention becomes a *declaration* the linter enforces.
+
+A class opts in by declaring its guarded attributes::
+
+    class CampaignService:
+        _lock_guarded = ("_campaigns",)
+
+Rules enforced on every method of a declaring class:
+
+* A guarded attribute (``self._campaigns``) may be read or written only
+  lexically inside a ``with self._lock:`` block.  ``__init__`` is exempt
+  (the object is not shared yet), as is any method whose name ends in
+  ``_locked`` (the caller-holds-the-lock convention).
+* Any *other* ``self.<attr>`` assignment outside ``__init__`` is flagged:
+  in a threaded class, mutable shared state is either registered and
+  guarded, or it does not exist.  (``self._lock`` itself is exempt.)
+* ``_lock_guarded = ()`` declares a **frozen-after-init** class: no lock is
+  required, and the second rule alone enforces that nothing mutates after
+  construction — the contract ``SliceLeases`` relies on to share one
+  instance with the heartbeat thread.
+
+The containment check is lexical, which is the documented approximation: a
+closure defined inside a ``with`` block but executed later still passes.
+Review owns that residue; the checker kills the common direct pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.framework import Checker
+
+#: Class-body attribute carrying the guarded-attribute declaration.
+DECLARATION = "_lock_guarded"
+
+#: The lock attribute the discipline is defined against.
+LOCK_ATTR = "_lock"
+
+
+def _declared_guarded(class_node: ast.ClassDef) -> Optional[frozenset[str]]:
+    """The class's ``_lock_guarded`` declaration, or ``None`` when absent."""
+    for statement in class_node.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        for target in statement.targets:
+            if isinstance(target, ast.Name) and target.id == DECLARATION:
+                value = statement.value
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    names = []
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                    return frozenset(names)
+                return frozenset()
+    return None
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == LOCK_ATTR
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+class LockDisciplineChecker(Checker):
+    code = "MUT004"
+    name = "lock-discipline"
+    title = "Registered lock-guarded attribute accessed off the lock"
+    explanation = """\
+Contract (PR 5/7): the threaded classes — `CampaignService` (one registry
+mutated by every concurrent HTTP handler thread plus the rehydration
+thread), `CampaignHandle` (state shared between the caller and a background
+campaign thread), `BatchedShardWriter` (a worker loop's open shard group),
+`SliceLeases` (shared with the heartbeat thread) — keep their mutable state
+consistent by taking `self._lock` around every access.  PR 5 fixed exactly
+this bug class in the heartbeat path; this checker keeps it fixed.
+
+A class registers its guarded attributes:
+
+    class CampaignHandle:
+        _lock_guarded = ("_state", "_result", "_error", "_thread")
+
+and the checker then enforces, in every method:
+
+  * registered attributes are read/written only inside `with self._lock:`
+    (lexically; `__init__` and `*_locked`-suffixed methods are exempt —
+    the former runs before the object is shared, the latter documents
+    caller-holds-the-lock);
+  * no unregistered `self.<attr>` is *assigned* outside `__init__` —
+    threaded-class state is registered and guarded, or it is immutable;
+  * `_lock_guarded = ()` declares a frozen-after-init class (the contract
+    that lets `SliceLeases` be shared lock-free with the heartbeat
+    thread).
+
+Correct pattern for publishing state computed outside the lock:
+
+    thread = threading.Thread(target=..., daemon=True)
+    with self._lock:
+        if self._thread is not None:
+            return self
+        self._thread = thread
+    thread.start()      # local name: no off-lock attribute read
+
+The check is lexical containment, not an escape analysis: a closure built
+under the lock but called later still passes.  Thread-safe primitives
+(`threading.Event`, queues) need no registration — their methods are their
+lock.
+"""
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        guarded = _declared_guarded(node)
+        if guarded is not None:
+            for statement in node.body:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._check_method(statement, guarded)
+        self.generic_visit(node)  # nested classes may declare too
+
+    # --------------------------------------------------------------- methods
+
+    def _check_method(self, method, guarded: frozenset[str]) -> None:
+        exempt_from_lock = method.name == "__init__" or method.name.endswith("_locked")
+        allow_assign = method.name == "__init__"
+        self._walk(method.body, guarded, locked=exempt_from_lock, allow_assign=allow_assign)
+
+    def _walk(self, statements, guarded, locked: bool, allow_assign: bool) -> None:
+        for statement in statements:
+            self._check_statement(statement, guarded, locked, allow_assign)
+
+    def _check_statement(self, node: ast.AST, guarded, locked: bool, allow_assign: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = locked or any(_is_self_lock(item.context_expr) for item in node.items)
+            for item in node.items:
+                if not locked:
+                    self._check_expression(item.context_expr, guarded, locked, allow_assign)
+            self._walk(node.body, guarded, locked=holds, allow_assign=allow_assign)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function runs later, on whichever thread calls it —
+            # it does not inherit the lexical lock context.
+            self._walk(node.body, guarded, locked=False, allow_assign=allow_assign)
+            return
+        # Flag assignments to self.<attr> first, then scan expressions.
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                self._check_assign_target(target, guarded, locked, allow_assign)
+            value = getattr(node, "value", None)
+            if value is not None:
+                self._check_expression(value, guarded, locked, allow_assign)
+            return
+        # Recurse into compound statements; check bare expressions.
+        for field_name, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if all(isinstance(item, ast.stmt) for item in value) and value:
+                    self._walk(value, guarded, locked, allow_assign)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.expr):
+                            self._check_expression(item, guarded, locked, allow_assign)
+                        elif isinstance(item, ast.stmt):
+                            self._check_statement(item, guarded, locked, allow_assign)
+                        elif isinstance(item, ast.excepthandler):
+                            self._walk(item.body, guarded, locked, allow_assign)
+            elif isinstance(value, ast.expr):
+                self._check_expression(value, guarded, locked, allow_assign)
+            elif isinstance(value, ast.stmt):
+                self._check_statement(value, guarded, locked, allow_assign)
+
+    def _check_assign_target(self, target, guarded, locked: bool, allow_assign: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_assign_target(element, guarded, locked, allow_assign)
+            return
+        # self.<attr> = ... (possibly through a subscript, e.g. self.d[k]=v)
+        attribute = target
+        while isinstance(attribute, ast.Subscript):
+            attribute = attribute.value
+        if (
+            isinstance(attribute, ast.Attribute)
+            and isinstance(attribute.value, ast.Name)
+            and attribute.value.id == "self"
+        ):
+            name = attribute.attr
+            if name in guarded:
+                if not locked:
+                    self.report(
+                        target,
+                        f"write to lock-guarded attribute 'self.{name}' outside "
+                        f"'with self.{LOCK_ATTR}'",
+                    )
+            elif name != LOCK_ATTR and not allow_assign:
+                self.report(
+                    target,
+                    f"assignment to unregistered attribute 'self.{name}' outside "
+                    "__init__ in a lock-disciplined class; register it in "
+                    f"{DECLARATION} (and guard it) or set it in __init__ only",
+                )
+        elif isinstance(target, ast.expr):
+            self._check_expression(target, guarded, locked, allow_assign)
+
+    def _check_expression(self, node: ast.expr, guarded, locked: bool, allow_assign: bool) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Lambda,)):
+                continue  # deferred execution; lexical lock doesn't apply anyway
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+                and child.attr in guarded
+                and not locked
+            ):
+                self.report(
+                    child,
+                    f"read of lock-guarded attribute 'self.{child.attr}' outside "
+                    f"'with self.{LOCK_ATTR}'",
+                )

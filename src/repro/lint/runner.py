@@ -1,0 +1,183 @@
+"""mutiny-lint runner: file discovery, checker dispatch, report assembly.
+
+The runner is what ``repro.cli lint`` (and the tests) drive: point it at one
+or more paths, it discovers ``.py`` files, computes each file's parts
+relative to the ``repro`` package root (so checker path scopes work both on
+the real tree and on fixture trees that mirror the layout under a temp
+directory), runs every selected checker, applies inline suppressions, and
+returns a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.lint.determinism import DeterminismChecker
+from repro.lint.exceptions import SwallowedExceptionChecker
+from repro.lint.framework import (
+    HYGIENE_CODE,
+    Checker,
+    Diagnostic,
+    load_lint_file,
+)
+from repro.lint.informer import InformerMutationChecker
+from repro.lint.locks import LockDisciplineChecker
+from repro.lint.transport_purity import TransportPurityChecker
+
+#: Every checker, in code order.  MUT000 is not a checker — it is the
+#: hygiene code emitted by the framework itself (unparseable files, bad
+#: suppression comments) and is documented via :data:`EXPLANATIONS`.
+ALL_CHECKERS: tuple[Type[Checker], ...] = (
+    InformerMutationChecker,
+    TransportPurityChecker,
+    DeterminismChecker,
+    LockDisciplineChecker,
+    SwallowedExceptionChecker,
+)
+
+HYGIENE_EXPLANATION = """\
+MUT000 is mutiny-lint's own hygiene code — it reports problems with the
+lint run itself rather than with the checked contracts:
+
+  * a file that cannot be read or does not parse;
+  * a suppression comment naming an unknown code, or naming MUT000 itself
+    (hygiene findings cannot be suppressed — fixing the comment is always
+    cheaper than silencing it);
+  * a suppression with no justification.  The grammar is
+
+        # mutiny-lint: disable=MUTnnn -- why this is safe here
+
+    and the `-- why` part is mandatory: a suppression records a decision,
+    and this linter exists precisely because undocumented decisions about
+    cross-layer contracts are where orchestrators rot;
+  * a comment that mentions mutiny-lint but does not match the grammar
+    (usually a typo that would otherwise silently suppress nothing).
+
+MUT000 findings cannot be suppressed and have no checker to disable: fix
+the comment or the file.
+"""
+
+#: code -> long-form explanation, served by ``repro.cli lint --explain``.
+EXPLANATIONS: dict[str, str] = {HYGIENE_CODE: HYGIENE_EXPLANATION}
+for _checker in ALL_CHECKERS:
+    EXPLANATIONS[_checker.code] = _checker.explanation
+
+#: code -> one-line title (for listings).
+TITLES: dict[str, str] = {HYGIENE_CODE: "Lint hygiene (bad suppression / unreadable file)"}
+for _checker in ALL_CHECKERS:
+    TITLES[_checker.code] = _checker.title
+
+KNOWN_CODES: tuple[str, ...] = tuple(sorted(TITLES))
+
+#: Schema version of the ``--format json`` document.  Bump only on a
+#: breaking change to the document shape; tests pin this.
+JSON_SCHEMA_VERSION = 1
+
+
+class LintUsageError(ValueError):
+    """Bad runner input (unknown code, missing path) — CLI exit 2."""
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    codes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def to_document(self) -> dict:
+        """The stable ``--format json`` document."""
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "tool": "mutiny-lint",
+            "codes": list(self.codes),
+            "files_checked": self.files_checked,
+            "findings": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            "ok": self.ok,
+        }
+
+
+def _discover(paths: Sequence[str]) -> list[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if name != "__pycache__" and not name.startswith(".")
+                )
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        found.add(os.path.join(dirpath, filename))
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _relparts(path: str) -> tuple[str, ...]:
+    """Path parts relative to the ``repro`` package root.
+
+    ``.../src/repro/core/distributed.py`` → ``("core", "distributed.py")``.
+    The *last* ``repro`` segment wins, so fixture trees that mirror the
+    package layout under ``/tmp/.../repro/...`` scope identically.  A path
+    with no ``repro`` segment falls back to its own parts (scoped checkers
+    then simply don't apply).
+    """
+    parts = tuple(part for part in os.path.normpath(path).split(os.sep) if part)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1 :]
+    return parts
+
+
+def select_codes(codes: Optional[Iterable[str]]) -> tuple[str, ...]:
+    """Validate and normalize a ``--codes`` selection (None = all)."""
+    if codes is None:
+        return KNOWN_CODES
+    selected = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if not normalized:
+            continue
+        if normalized not in TITLES:
+            raise LintUsageError(
+                f"unknown code {normalized!r} (known: {', '.join(KNOWN_CODES)})"
+            )
+        selected.append(normalized)
+    if not selected:
+        raise LintUsageError("--codes selected nothing")
+    return tuple(dict.fromkeys(selected))
+
+
+def lint_paths(
+    paths: Sequence[str], codes: Optional[Iterable[str]] = None
+) -> LintReport:
+    """Lint the given files/directories with the selected checkers."""
+    selected = select_codes(codes)
+    checkers = [checker for checker in ALL_CHECKERS if checker.code in selected]
+    report = LintReport(codes=selected)
+    for path in _discover(paths):
+        relparts = _relparts(path)
+        lint_file, hygiene = load_lint_file(path, relparts, KNOWN_CODES)
+        report.files_checked += 1
+        if HYGIENE_CODE in selected:
+            report.diagnostics.extend(hygiene)
+        if lint_file is None:
+            continue
+        for checker_class in checkers:
+            if not checker_class.applies_to(relparts):
+                continue
+            for diagnostic in checker_class(lint_file).run():
+                if not lint_file.suppressed(diagnostic):
+                    report.diagnostics.append(diagnostic)
+    report.diagnostics.sort()
+    return report

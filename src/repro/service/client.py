@@ -9,6 +9,7 @@ point of the statelessness guarantee.
 
 from __future__ import annotations
 
+# mutiny-lint: disable=MUT002 -- control-plane HTTP to the campaign service API, not shard storage; no transport backend speaks this protocol
 import http.client
 import json
 import time
@@ -52,6 +53,7 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> tuple[int, bytes, dict]:
+        # mutiny-lint: disable=MUT002 -- same control-plane API connection; retried requests are safe (GETs and idempotent POSTs per the /v1 spec)
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None

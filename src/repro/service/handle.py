@@ -24,6 +24,10 @@ STATES = ("pending", "running", "complete", "failed", "cancelled")
 class CampaignHandle:
     """One spec's execution: run it, watch it, cancel it, fetch its result."""
 
+    # Guarded by self._lock (enforced by mutiny-lint MUT004): shared between
+    # the caller and the background campaign thread.
+    _lock_guarded = ("_state", "_result", "_error", "_thread")
+
     def __init__(self, spec: CampaignSpec):
         self.spec = spec
         self._cancel = threading.Event()
@@ -77,20 +81,24 @@ class CampaignHandle:
 
     def start(self) -> "CampaignHandle":
         """Execute the spec on a background daemon thread (service path)."""
+        thread = threading.Thread(
+            target=self._run_in_background,
+            name=f"campaign-{self.spec.campaign_id()}",
+            daemon=True,
+        )
         with self._lock:
             if self._thread is not None:
                 return self
-            self._thread = threading.Thread(
-                target=self._run_in_background,
-                name=f"campaign-{self.spec.campaign_id()}",
-                daemon=True,
-            )
-        self._thread.start()
+            self._thread = thread
+        # Started via the local name: re-reading self._thread here would be
+        # an off-lock read racing a concurrent start()'s publication.
+        thread.start()
         return self
 
     def _run_in_background(self) -> None:
         try:
             self.run()
+        # mutiny-lint: disable=MUT005 -- run() recorded the terminal state and self._error before re-raising; this barrier only keeps the daemon thread from tracebacking
         except BaseException:
             # Terminal state and error were recorded by run(); a background
             # campaign must not take the service thread down with it.

@@ -38,7 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.core.campaign import CampaignResult
-from repro.core.distributed import SliceLeases, load_plan
+from repro.core.distributed import DistributedPlanError, SliceLeases, load_plan
 from repro.core.report import store_document, tables_document, document_to_bytes
 from repro.core.resultstore import ShardedResultStore
 from repro.core.transport import (
@@ -112,6 +112,10 @@ class ManagedCampaign:
 
 class CampaignService:
     """Registry + execution policy behind the HTTP handler (and tests)."""
+
+    # Guarded by self._lock (enforced by mutiny-lint MUT004): the registry
+    # is mutated by every handler thread plus the rehydration pass.
+    _lock_guarded = ("_campaigns",)
 
     def __init__(
         self,
@@ -305,7 +309,9 @@ class CampaignService:
         root = managed.spec.store_url
         try:
             plan = load_plan(root)
-        except Exception:
+        except (DistributedPlanError, TransportError):
+            # Status stays served without plan enrichment: an unreadable or
+            # unreachable plan is reported by the run itself, not by polls.
             plan = None
         if plan is not None:
             info["plan"] = {"total": plan.total, "slices": len(plan.slices())}

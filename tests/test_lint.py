@@ -1,0 +1,752 @@
+"""mutiny-lint: checkers, suppressions, CLI, and the repo's own cleanliness.
+
+Each checker gets a positive fixture (the violation is found, with the
+right code/file/line), a negative fixture (the sanctioned pattern passes),
+and a suppressed fixture (a justified inline disable silences exactly that
+finding).  The meta-test at the bottom pins the tentpole guarantee: the
+shipped tree lints clean, so the CI gate stays green by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lint import (
+    EXPLANATIONS,
+    HYGIENE_CODE,
+    JSON_SCHEMA_VERSION,
+    KNOWN_CODES,
+    TITLES,
+    LintUsageError,
+    lint_paths,
+    select_codes,
+)
+
+REPRO_PACKAGE = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def lint_fixture(tmp_path, relpath: str, source: str, codes=None):
+    """Write one fixture file mirroring the package layout and lint it."""
+    path = tmp_path / "repro" / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([str(path)], codes=codes)
+
+
+def codes_of(report):
+    return [diagnostic.code for diagnostic in report.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# MUT001 — informer mutation
+# ---------------------------------------------------------------------------
+
+
+class TestInformerMutation:
+    def test_mutating_a_copy_false_ref_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/bad.py",
+            """\
+            def reconcile(client):
+                pod = client.get("Pod", "a", copy=False)
+                pod["metadata"]["labels"] = {}
+            """,
+        )
+        assert codes_of(report) == ["MUT001"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.line == 3
+        assert "bad.py" in diagnostic.path
+        assert "copy=False" in diagnostic.message
+
+    def test_loop_variable_over_listed_refs_is_tainted(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/loop.py",
+            """\
+            def reconcile(client):
+                for pod in client.list("Pod", copy=False):
+                    pod["spec"]["nodeName"] = "n1"
+            """,
+        )
+        assert codes_of(report) == ["MUT001"]
+
+    def test_mutating_method_call_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/method.py",
+            """\
+            def reconcile(client):
+                pods = client.list("Pod", copy=False)
+                pods.append({})
+            """,
+        )
+        assert codes_of(report) == ["MUT001"]
+
+    def test_deep_copy_clears_taint(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/good.py",
+            """\
+            def reconcile(client, deep_copy):
+                pod = client.get("Pod", "a", copy=False)
+                pod = deep_copy(pod)
+                pod["metadata"]["labels"] = {}
+                client.update("Pod", pod)
+            """,
+        )
+        assert report.ok
+
+    def test_copy_true_reads_are_not_tainted(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/copied.py",
+            """\
+            def reconcile(client):
+                pod = client.get("Pod", "a")
+                pod["metadata"]["labels"] = {}
+            """,
+        )
+        assert report.ok
+
+    def test_fresh_container_over_refs_may_be_mutated(self, tmp_path):
+        # The scheduler/namespace-controller pattern: a comprehension over a
+        # copy=False list builds a *new* container; appending to it is fine.
+        report = lint_fixture(
+            tmp_path,
+            "controllers/fresh.py",
+            """\
+            def reconcile(client):
+                pods = client.list("Pod", copy=False)
+                names = {p.get("name") for p in pods}
+                names.update(("default",))
+                bound = [pod for pod in pods if pod.get("bound")]
+                bound.append({"fresh": True})
+            """,
+        )
+        assert report.ok
+
+    def test_iterating_a_fresh_container_yields_refs(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/elements.py",
+            """\
+            def reconcile(client):
+                pods = client.list("Pod", copy=False)
+                bound = [pod for pod in pods if pod.get("bound")]
+                for pod in bound:
+                    pod["seen"] = True
+            """,
+        )
+        assert codes_of(report) == ["MUT001"]
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/waived.py",
+            """\
+            def reconcile(client):
+                pod = client.get("Pod", "a", copy=False)
+                # mutiny-lint: disable=MUT001 -- scratch field never read by other controllers
+                pod["scratch"] = 1
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT002 — transport purity
+# ---------------------------------------------------------------------------
+
+
+class TestTransportPurity:
+    def test_direct_os_io_in_scope_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/distributed.py",
+            """\
+            import os
+
+            def cleanup(path):
+                os.remove(path)
+            """,
+        )
+        assert codes_of(report) == ["MUT002"]
+        assert report.diagnostics[0].line == 4
+
+    def test_open_and_http_client_in_service_are_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/raw.py",
+            """\
+            import http.client
+
+            def fetch(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        assert codes_of(report) == ["MUT002", "MUT002"]
+
+    def test_from_http_import_client_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/federate.py",
+            "from http import client\n",
+        )
+        assert codes_of(report) == ["MUT002"]
+
+    def test_out_of_scope_modules_may_do_io(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/transport.py",
+            """\
+            import os
+
+            def put(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+                os.rename(path, path + ".final")
+            """,
+        )
+        assert report.ok
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/waived.py",
+            """\
+            # mutiny-lint: disable=MUT002 -- control-plane HTTP, not shard storage
+            import http.client
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT003 — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_wall_clock_in_sim_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/clocky.py",
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert codes_of(report) == ["MUT003"]
+        assert report.diagnostics[0].line == 4
+
+    def test_random_module_and_unseeded_random_are_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "controllers/dicey.py",
+            """\
+            import random
+            from random import Random
+
+            def roll():
+                generator = Random()
+                return random.random()
+            """,
+        )
+        assert codes_of(report) == ["MUT003", "MUT003", "MUT003", "MUT003"]
+
+    def test_seeded_random_and_monotonic_pacing_pass(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/parallel.py",
+            """\
+            import time
+
+            def pace(seed, Random):
+                generator = Random(seed)
+                deadline = time.monotonic() + 5.0
+                time.sleep(0.01)
+                return generator, deadline, time.perf_counter()
+            """,
+        )
+        assert report.ok
+
+    def test_slice_leases_wall_clock_is_allowlisted(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/distributed.py",
+            """\
+            import time
+
+            class SliceLeases:
+                def age(self, mtime):
+                    return time.time() - mtime
+
+            def elsewhere():
+                return time.time()
+            """,
+        )
+        # Only the module-level function is flagged; the class is exempt.
+        assert codes_of(report) == ["MUT003"]
+        assert report.diagnostics[0].line == 8
+
+    def test_rng_module_itself_is_exempt(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/rng.py",
+            """\
+            import random
+
+            def stream(seed):
+                return random.Random(seed)
+            """,
+        )
+        assert report.ok
+
+    def test_out_of_scope_modules_may_use_wall_clock(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/clocked.py",
+            """\
+            import time
+
+            def submitted_at():
+                return time.time()
+            """,
+        )
+        assert report.ok
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/waived.py",
+            """\
+            import time
+
+            def stamp():
+                # mutiny-lint: disable=MUT003 -- diagnostic log timestamp, never stored in results
+                return time.time()
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT004 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    def test_off_lock_write_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/svc.py",
+            """\
+            class Svc:
+                _lock_guarded = ("_state",)
+
+                def __init__(self):
+                    self._state = 0
+
+                def bump(self):
+                    self._state += 1
+            """,
+        )
+        assert codes_of(report) == ["MUT004"]
+        assert report.diagnostics[0].line == 8
+
+    def test_off_lock_read_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/read.py",
+            """\
+            class Svc:
+                _lock_guarded = ("_state",)
+
+                def peek(self):
+                    return self._state
+            """,
+        )
+        assert codes_of(report) == ["MUT004"]
+
+    def test_locked_access_and_locked_suffix_pass(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/good.py",
+            """\
+            class Svc:
+                _lock_guarded = ("_state",)
+
+                def __init__(self, lock):
+                    self._lock = lock
+                    self._state = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._state += 1
+                        return self._state
+
+                def _drain_locked(self):
+                    self._state = 0
+            """,
+        )
+        assert report.ok
+
+    def test_unregistered_assignment_outside_init_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/frozen.py",
+            """\
+            class Leases:
+                _lock_guarded = ()
+
+                def __init__(self, root):
+                    self.root = root
+
+                def rebind(self, root):
+                    self.root = root
+            """,
+        )
+        assert codes_of(report) == ["MUT004"]
+        assert "unregistered" in report.diagnostics[0].message
+
+    def test_nested_function_does_not_inherit_the_lock(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/nested.py",
+            """\
+            class Svc:
+                _lock_guarded = ("_state",)
+
+                def bump(self):
+                    with self._lock:
+                        def later():
+                            return self._state
+                        return later
+            """,
+        )
+        assert codes_of(report) == ["MUT004"]
+
+    def test_undeclared_classes_are_out_of_scope(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/plain.py",
+            """\
+            class Plain:
+                def bump(self):
+                    self.count = getattr(self, "count", 0) + 1
+            """,
+        )
+        assert report.ok
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/waived.py",
+            """\
+            class Svc:
+                _lock_guarded = ("_state",)
+
+                def peek_racy(self):
+                    # mutiny-lint: disable=MUT004 -- monotonic counter, approximate read is fine for metrics
+                    return self._state
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT005 — swallowed exceptions
+# ---------------------------------------------------------------------------
+
+
+class TestSwallowedException:
+    def test_bare_except_pass_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/swallow.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                except:
+                    pass
+            """,
+        )
+        assert codes_of(report) == ["MUT005"]
+        assert report.diagnostics[0].line == 4
+
+    def test_broad_except_in_tuple_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/tuple.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                except (ValueError, Exception):
+                    return None
+            """,
+        )
+        assert codes_of(report) == ["MUT005"]
+
+    def test_narrow_except_is_control_flow(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/narrow.py",
+            """\
+            def work(mapping):
+                try:
+                    return mapping["key"]
+                except KeyError:
+                    return None
+            """,
+        )
+        assert report.ok
+
+    def test_recording_or_reraising_the_error_passes(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/handled.py",
+            """\
+            def work(task, sink):
+                try:
+                    task()
+                except Exception as error:
+                    sink.append(error)
+                try:
+                    task()
+                except Exception as error:
+                    raise RuntimeError("wrapped") from error
+            """,
+        )
+        assert report.ok
+
+    def test_raise_inside_nested_def_does_not_count(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/nested_raise.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                except Exception:
+                    def later():
+                        raise RuntimeError("too late")
+                    return later
+            """,
+        )
+        assert codes_of(report) == ["MUT005"]
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/waived.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                # mutiny-lint: disable=MUT005 -- last-resort barrier; the error was recorded upstream
+                except Exception:
+                    pass
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT000 — suppression hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionHygiene:
+    def test_unjustified_suppression_is_flagged_and_inert(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/unjustified.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                # mutiny-lint: disable=MUT005
+                except Exception:
+                    pass
+            """,
+        )
+        # The naked disable is itself a finding AND fails to suppress.
+        assert sorted(codes_of(report)) == [HYGIENE_CODE, "MUT005"]
+
+    def test_unknown_code_in_suppression_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/unknown.py",
+            "x = 1  # mutiny-lint: disable=MUT999 -- no such contract\n",
+        )
+        assert codes_of(report) == [HYGIENE_CODE]
+        assert "MUT999" in report.diagnostics[0].message
+
+    def test_hygiene_code_itself_cannot_be_suppressed(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/meta.py",
+            "x = 1  # mutiny-lint: disable=MUT000 -- trying to silence the referee\n",
+        )
+        assert HYGIENE_CODE in codes_of(report)
+
+    def test_malformed_directive_is_flagged(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/typo.py",
+            "x = 1  # mutiny-lint: disabled=MUT005 -- typo in the marker\n",
+        )
+        assert codes_of(report) == [HYGIENE_CODE]
+
+    def test_prose_mentioning_the_tool_is_fine(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/prose.py",
+            "x = 1  # checked by mutiny-lint MUT004\n",
+        )
+        assert report.ok
+
+    def test_syntax_error_becomes_a_hygiene_finding(self, tmp_path):
+        report = lint_fixture(tmp_path, "core/broken.py", "def broken(:\n")
+        assert codes_of(report) == [HYGIENE_CODE]
+        assert "parse" in report.diagnostics[0].message
+
+
+# ---------------------------------------------------------------------------
+# Runner and report
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_codes_filter_selects_checkers(self, tmp_path):
+        source = """\
+        import time
+
+        def stamp(client):
+            pod = client.get("Pod", "a", copy=False)
+            pod["at"] = time.time()
+        """
+        everything = lint_fixture(tmp_path, "controllers/both.py", source)
+        assert sorted(codes_of(everything)) == ["MUT001", "MUT003"]
+        only_determinism = lint_fixture(
+            tmp_path, "controllers/both.py", source, codes=["MUT003"]
+        )
+        assert codes_of(only_determinism) == ["MUT003"]
+
+    def test_unknown_code_is_a_usage_error(self):
+        with pytest.raises(LintUsageError):
+            select_codes(["MUT731"])
+
+    def test_json_document_schema_is_stable(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "core/swallow.py",
+            """\
+            def work(task):
+                try:
+                    task()
+                except:
+                    pass
+            """,
+        )
+        document = report.to_document()
+        assert sorted(document) == [
+            "codes", "files_checked", "findings", "ok", "schema_version", "tool",
+        ]
+        assert document["schema_version"] == JSON_SCHEMA_VERSION == 1
+        assert document["tool"] == "mutiny-lint"
+        assert document["ok"] is False
+        (finding,) = document["findings"]
+        assert sorted(finding) == ["code", "column", "file", "line", "message"]
+        assert finding["code"] == "MUT005"
+        assert finding["line"] == 4
+
+    def test_every_code_has_title_and_explanation(self):
+        assert set(KNOWN_CODES) == set(TITLES) == set(EXPLANATIONS)
+        for code in KNOWN_CODES:
+            assert TITLES[code].strip()
+            assert len(EXPLANATIONS[code].strip()) > 100
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def seed(self, tmp_path):
+        path = tmp_path / "repro" / "sim" / "clocky.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        return path
+
+    def test_findings_exit_1_and_name_code_file_line(self, tmp_path, capsys):
+        path = self.seed(tmp_path)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "MUT003" in out
+        assert f"{path}:4:" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "controllers" / "fine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def reconcile(client):\n    return client.list('Pod')\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format_parses_and_matches(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["findings"][0]["code"] == "MUT003"
+
+    def test_codes_flag_filters(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        assert main(["lint", "--codes", "MUT001,MUT005", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_unknown_code_exits_2(self, tmp_path, capsys):
+        assert main(["lint", "--codes", "MUT731", str(tmp_path)]) == 2
+        assert "MUT731" in capsys.readouterr().err
+
+    def test_explain_every_known_code(self, capsys):
+        for code in KNOWN_CODES:
+            assert main(["lint", "--explain", code]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith(f"{code}:")
+            assert len(out) > 200
+
+    def test_explain_unknown_code_exits_2(self, capsys):
+        assert main(["lint", "--explain", "MUT731"]) == 2
+        assert "MUT731" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# The tentpole guarantee: the shipped tree lints clean.
+# ---------------------------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_the_repro_package_lints_clean(self):
+        report = lint_paths([REPRO_PACKAGE])
+        assert report.files_checked > 50
+        assert report.ok, "\n".join(
+            diagnostic.render() for diagnostic in report.diagnostics
+        )
