@@ -100,7 +100,16 @@ from repro.core.report import (
 )
 from repro.core.resultstore import ResultStoreMismatchError, ShardedResultStore
 from repro.core.transport import TransportError, resolve_store_url
-from repro.lint import EXPLANATIONS, KNOWN_CODES, TITLES, LintUsageError, lint_paths
+from repro.lint import (
+    DEFAULT_CACHE_DIR,
+    EXPLANATIONS,
+    KNOWN_CODES,
+    TITLES,
+    BaselineError,
+    LintUsageError,
+    lint_paths,
+)
+from repro.lint import baseline as lint_baseline
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.handle import CampaignHandle
 from repro.service.spec import CampaignSpec, SpecError
@@ -614,19 +623,79 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     codes = None
     if args.codes is not None:
         codes = [code for chunk in args.codes for code in chunk.split(",")]
-    report = lint_paths(paths, codes=codes)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    baseline_entries = None
+    if not args.write_baseline and not args.no_baseline:
+        baseline_path = args.baseline
+        if baseline_path is None and os.path.isfile("lint-baseline.json"):
+            baseline_path = "lint-baseline.json"  # auto-pickup in the repo root
+        if baseline_path is not None:
+            try:
+                with open(baseline_path, encoding="utf-8") as handle:
+                    baseline_entries = lint_baseline.parse(handle.read())
+            except OSError as error:
+                raise LintUsageError(f"cannot read baseline: {error}") from error
+            except BaselineError as error:
+                raise LintUsageError(str(error)) from error
+
+    report = lint_paths(
+        paths, codes=codes, cache_dir=cache_dir, baseline_entries=baseline_entries
+    )
+
+    if args.write_baseline:
+        target = args.baseline or "lint-baseline.json"
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(lint_baseline.serialize(report.diagnostics))
+        print(
+            f"wrote {len(report.diagnostics)} finding(s) from "
+            f"{report.files_checked} file(s) to {target}"
+        )
+        return 0
 
     if args.format == "json":
         print(json.dumps(report.to_document(), indent=2, sort_keys=True))
+    elif args.format == "github":
+        for diagnostic in report.diagnostics:
+            print(
+                f"::error file={diagnostic.path},line={diagnostic.line},"
+                f"col={diagnostic.column},title={diagnostic.code}::"
+                f"{_github_escape(diagnostic.message)}"
+            )
+        for file, code, message in report.stale_baseline:
+            print(
+                "::error title=stale lint baseline entry::"
+                + _github_escape(
+                    f"{code} {message!r} ({file}) no longer occurs; remove it "
+                    "from lint-baseline.json (the ratchet only goes down)"
+                )
+            )
+        print(
+            f"{len(report.diagnostics)} new finding(s), "
+            f"{len(report.stale_baseline)} stale baseline entr(ies) in "
+            f"{report.files_checked} file(s) checked"
+        )
     else:
         for diagnostic in report.diagnostics:
             print(diagnostic.render())
+        for file, code, message in report.stale_baseline:
+            print(
+                f"stale baseline entry: {code} {message!r} ({file}) no longer "
+                "occurs; remove it from lint-baseline.json"
+            )
         summary = (
             f"{len(report.diagnostics)} finding(s) in {report.files_checked} "
             f"file(s) checked"
         )
-        print(summary if report.diagnostics else f"clean: {summary}")
+        if report.baselined:
+            summary += f" ({report.baselined} baselined)"
+        print(summary if not report.ok else f"clean: {summary}")
     return 0 if report.ok else 1
+
+
+def _github_escape(message: str) -> str:
+    """GitHub workflow-command data escaping (percent, CR, LF)."""
+    return message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1032,9 +1101,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text; json is schema-versioned)",
+        help="output format (default: text; json is schema-versioned; "
+        "github emits ::error workflow annotations for inline PR findings)",
     )
     lint.add_argument(
         "--explain",
@@ -1042,6 +1112,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print the contract behind a code (what it enforces, the "
         "motivating bug, the correct pattern) and exit",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="findings baseline to apply (default: lint-baseline.json in "
+        "the current directory, when present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into the baseline file and exit 0; "
+        "subsequent runs fail only on findings not recorded there",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline and report every finding",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help="per-file incremental cache directory "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (always re-parse every file)",
     )
     lint.set_defaults(func=_cmd_lint)
     return parser

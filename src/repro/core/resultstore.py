@@ -620,6 +620,7 @@ class BatchedShardWriter:
             and self._generation is not None
             and self._batches_in_group < self.batches_per_shard
         ):
+            # mutiny-lint: disable=MUT007 -- generation chaining *requires* serializing append round-trips under the group lock: a concurrent append would fork the open shard's generation (see class docstring)
             generation = transport.append(self._key, member, self._generation)
             if generation is not None:
                 self._generation = generation
@@ -629,6 +630,7 @@ class BatchedShardWriter:
             # The open shard changed hands (replaced or removed) — abandon
             # the group and land this batch in a fresh shard of its own.
         key = _shard_key_for(records)
+        # mutiny-lint: disable=MUT007 -- opening a fresh shard group must publish the first member before any concurrent submitter can chain onto it; serialized by design
         generation = transport.append(key, member, None)
         if generation is None:
             # The key already exists: a predecessor (or a racing replay of
@@ -647,6 +649,7 @@ class BatchedShardWriter:
             self._batches_in_group = 0
             if not set(ours) <= set(existing):
                 merged = sorted({**existing, **ours}.items())
+                # mutiny-lint: disable=MUT007 -- the read-merge-rewrite of a collided shard key must not interleave with another append to the same writer; serialized by design
                 transport.put(key, _encode_member(merged))
             self.store._index_map = None  # the completed set changed
             return transport.locate(key)

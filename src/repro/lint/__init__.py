@@ -1,23 +1,35 @@
-"""mutiny-lint: AST-based enforcement of the repo's cross-layer contracts.
+"""mutiny-lint: whole-program enforcement of the repo's cross-layer contracts.
 
-Five checkers (``MUT001``–``MUT005``) mechanize conventions that previous
-PRs established in docstrings and review — informer ``copy=False``
-immutability, ShardTransport purity, digest determinism, lock discipline,
-no swallowed exceptions — plus a hygiene code (``MUT000``) for the lint
-machinery itself.  Stdlib-only by design; run via ``repro.cli lint``.
+Nine codes (``MUT001``–``MUT009``) mechanize conventions that previous PRs
+established in docstrings and review — informer ``copy=False`` immutability
+(intraprocedural *and* through the call graph), ShardTransport purity
+(direct and transitive), digest determinism (ambient entropy and unsorted
+set/listing iteration), lock discipline, blocking-under-lock, lock-order
+cycles, no swallowed exceptions — plus a hygiene code (``MUT000``) for the
+lint machinery itself.  Since PR 10 a run has two phases: per-file checkers
+over each parsed module (cached incrementally under ``.mutiny-lint-cache/``),
+then whole-program checkers over a conservative project call graph.  A
+findings baseline (``lint-baseline.json``) ratchets adoption: default runs
+fail only on findings not recorded there, and stale entries must be
+removed.  Stdlib-only by design; run via ``repro.cli lint``.
 """
 
+from repro.lint.baseline import BaselineError, BaselineResult
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.lint.callgraph import ProjectGraph, Resolution, build_graph
 from repro.lint.framework import (
     HYGIENE_CODE,
     Checker,
     Diagnostic,
     LintFile,
     Suppression,
+    is_suppressed,
     parse_suppressions,
 )
 from repro.lint.runner import (
     ALL_CHECKERS,
     EXPLANATIONS,
+    GRAPH_CHECKERS,
     JSON_SCHEMA_VERSION,
     KNOWN_CODES,
     TITLES,
@@ -26,20 +38,32 @@ from repro.lint.runner import (
     lint_paths,
     select_codes,
 )
+from repro.lint.symbols import ModuleSummary, index_module
 
 __all__ = [
     "ALL_CHECKERS",
+    "BaselineError",
+    "BaselineResult",
     "Checker",
+    "DEFAULT_CACHE_DIR",
     "Diagnostic",
     "EXPLANATIONS",
+    "GRAPH_CHECKERS",
     "HYGIENE_CODE",
     "JSON_SCHEMA_VERSION",
     "KNOWN_CODES",
+    "LintCache",
     "LintFile",
     "LintReport",
     "LintUsageError",
+    "ModuleSummary",
+    "ProjectGraph",
+    "Resolution",
     "Suppression",
     "TITLES",
+    "build_graph",
+    "index_module",
+    "is_suppressed",
     "lint_paths",
     "parse_suppressions",
     "select_codes",

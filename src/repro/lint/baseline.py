@@ -1,0 +1,127 @@
+"""The findings baseline / ratchet.
+
+A lint gate that cannot be adopted mid-stream never gets adopted: the
+first run on a grown tree reports historical findings whose fixes are out
+of scope for the PR that wants the gate.  The baseline records those
+findings once (``repro.cli lint --write-baseline`` →
+``lint-baseline.json``), and default runs then fail only on findings
+*not* in the baseline — new code is held to the full standard immediately
+while old findings are paid down over time.
+
+The ratchet: a baseline entry that no longer matches any current finding
+is **stale**, and stale entries fail the run too.  Fixing a baselined
+finding therefore *requires* committing the shrunk baseline — the
+recorded debt only ever goes down.  The shipped ``lint-baseline.json`` is
+empty: PR 10's sweep fixed every finding in-tree, and the machinery
+exists for the trees this one grows into.
+
+Matching is by (repro-relative path, code, message) as a **multiset** —
+line numbers churn with every edit and would make the baseline a merge
+magnet, while the message text pins the finding tightly enough that a
+*new* instance of an old defect class in the same file still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint.framework import Diagnostic
+
+#: Bumped when the key or file format changes incompatibly.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (bad JSON, wrong shape)."""
+
+
+def _key(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    return (_relative(diagnostic.path), diagnostic.code, diagnostic.message)
+
+
+def _relative(path: str) -> str:
+    """Path parts after the last ``repro`` segment, ``/``-joined — the same
+    convention checker scoping uses, so baselines survive checkouts at
+    different roots (and fixture trees in tests)."""
+    parts = [part for part in path.replace("\\", "/").split("/") if part]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return "/".join(parts)
+
+
+@dataclass
+class BaselineResult:
+    """One application of a baseline to a run's findings."""
+
+    #: Findings not covered by the baseline (these fail the run).
+    new: list[Diagnostic] = field(default_factory=list)
+    #: Findings matched and silenced by a baseline entry.
+    matched: list[Diagnostic] = field(default_factory=list)
+    #: Baseline entries with no current finding — the ratchet: these fail
+    #: the run until the shrunk baseline is committed.
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def serialize(diagnostics: Iterable[Diagnostic]) -> str:
+    """The ``lint-baseline.json`` content for a set of findings."""
+    entries = sorted(_key(diagnostic) for diagnostic in diagnostics)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"file": file, "code": code, "message": message}
+            for file, code, message in entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def parse(text: str) -> list[tuple[str, str, str]]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline version mismatch (expected {BASELINE_VERSION}); "
+            "regenerate with --write-baseline"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError("baseline has no 'entries' list")
+    keys: list[tuple[str, str, str]] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("file", "code", "message")
+        ):
+            raise BaselineError(f"malformed baseline entry: {entry!r}")
+        keys.append((entry["file"], entry["code"], entry["message"]))
+    return keys
+
+
+def apply(
+    diagnostics: Iterable[Diagnostic], entries: Iterable[tuple[str, str, str]]
+) -> BaselineResult:
+    """Split findings into new / matched and surface stale entries.
+
+    Multiset semantics: an entry silences exactly one matching finding per
+    occurrence in the baseline, so two instances of one defect need two
+    recorded entries — adding a *second* instance of a baselined defect
+    still fails.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for key in entries:
+        budget[key] = budget.get(key, 0) + 1
+    result = BaselineResult()
+    for diagnostic in sorted(diagnostics):
+        key = _key(diagnostic)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.matched.append(diagnostic)
+        else:
+            result.new.append(diagnostic)
+    for key in sorted(budget):
+        result.stale.extend([key] * budget[key])
+    return result

@@ -103,14 +103,25 @@ class LintFile:
     suppressions: list[Suppression] = field(default_factory=list)
 
     def suppressed(self, diagnostic: Diagnostic) -> bool:
-        for suppression in self.suppressions:
-            if not suppression.justification:
-                continue  # unjustified suppressions never silence anything
-            if diagnostic.line in suppression.covered_lines and (
-                diagnostic.code in suppression.codes
-            ):
-                return True
-        return False
+        return is_suppressed(self.suppressions, diagnostic)
+
+
+def is_suppressed(
+    suppressions: Iterable[Suppression], diagnostic: Diagnostic
+) -> bool:
+    """Whether any justified suppression covers the diagnostic.
+
+    Standalone (not only a :class:`LintFile` method) because the runner
+    also applies retained suppressions to whole-program findings on files
+    whose phase-A results came from the incremental cache."""
+    for suppression in suppressions:
+        if not suppression.justification:
+            continue  # unjustified suppressions never silence anything
+        if diagnostic.line in suppression.covered_lines and (
+            diagnostic.code in suppression.codes
+        ):
+            return True
+    return False
 
 
 class Checker(ast.NodeVisitor):

@@ -1,0 +1,228 @@
+"""MUT009 — nondeterministic-iteration checker.
+
+The one determinism hazard MUT003 cannot see: Python ``set`` /
+``frozenset`` iteration order depends on element hashes and insertion
+history, and ``os.listdir`` / ``glob`` return entries in filesystem order
+— both vary across hosts, filesystems, and (for str-keyed sets) the
+per-process hash seed.  A loop over either in a digest-affecting module
+puts that ordering into result records, shard layout, or merge order, and
+the byte-identical-digest invariant dies an unexplainable death in a
+smoke job on someone else's machine.
+
+The checker is intraprocedural and lexical: it tracks names assigned from
+set-producing expressions (``set()``/``frozenset()`` calls, set literals
+and comprehensions, set algebra) and OS-listing calls, and flags iteration
+contexts — ``for`` loops, comprehension generators, ``list()`` /
+``tuple()`` / ``enumerate()`` / ``str.join`` materialization — whose
+iterable is such a value and is not wrapped in ``sorted(...)``.  Scope
+mirrors MUT003 (the digest-affecting modules).  ``dict`` iteration is
+deliberately out of scope: insertion order is deterministic and the tree
+relies on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.determinism import EXEMPT_FILES, SCOPE_DIRS, SCOPE_FILES
+from repro.lint.framework import Checker, dotted_name
+
+#: Calls returning filesystem listings in filesystem (arbitrary) order.
+LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Set methods returning sets (algebra keeps the taint).
+SET_ALGEBRA_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Binary operators closed over sets.
+SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+#: Builtins that materialize their iterable argument in iteration order.
+MATERIALIZERS = frozenset({"list", "tuple", "enumerate"})
+
+
+class NondeterministicIterationChecker(Checker):
+    code = "MUT009"
+    name = "nondeterministic-iteration"
+    title = "Unsorted set / directory-listing iteration in digest-affecting code"
+    explanation = """\
+Contract (same invariant as MUT003): serial, parallel, distributed,
+federated, and service-run executions of one campaign configuration
+produce byte-identical result digests.  MUT003 keeps wall-clock and
+ambient randomness out of the pipeline; MUT009 closes the remaining
+ordering hole: `set`/`frozenset` iteration order (hash- and
+insertion-history-dependent, and for str keys randomized per process
+unless PYTHONHASHSEED is pinned) and `os.listdir`/`glob` filesystem order
+(varies by filesystem and creation history).
+
+A `for` loop, comprehension, `list()`/`tuple()`/`enumerate()` call, or
+`".".join(...)` over either source in `sim/`, `controllers/`, the
+campaign pipeline under `core/`, or the other digest-affecting packages
+leaks that ordering into event schedules, result records, shard layout,
+or merge order — and the digest invariant fails far from the cause.
+
+Correct pattern: wrap the iterable in `sorted(...)` at the iteration
+site (`for name in sorted(pending):`), or keep the collection a list /
+dict (insertion order is deterministic and the tree relies on it).
+Sets remain fine for membership tests; only their *iteration* is banned
+unsorted.
+
+Known limits (lexical, documented): taint tracks plain-name assignments
+within one function; sets hidden behind attributes or returned from
+helpers are not seen.  `sorted()` at the iteration site is the pattern
+to standardize on either way.
+"""
+
+    @classmethod
+    def applies_to(cls, relparts: tuple[str, ...]) -> bool:
+        tail = tuple(relparts[-2:])
+        if tail in EXEMPT_FILES:
+            return False
+        if tail in SCOPE_FILES:
+            return True
+        return bool(relparts) and relparts[0] in SCOPE_DIRS
+
+    def __init__(self, file):
+        super().__init__(file)
+        #: Stack of per-scope sets of names carrying set/listing taint.
+        self._scopes: list[set[str]] = [set()]
+
+    # ------------------------------------------------------------ taint model
+
+    def _tainted_name(self, name: str) -> bool:
+        return any(name in scope for scope in self._scopes)
+
+    def _describe(self, node: ast.expr) -> Optional[str]:
+        """Why this expression iterates nondeterministically, or ``None``."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return f"{func.id}(...)"
+                if func.id == "sorted":
+                    return None  # sorted() is the sanctioned fix
+            dotted = dotted_name(func)
+            if dotted in LISTING_CALLS:
+                return f"{dotted}()"
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in SET_ALGEBRA_METHODS
+                and self._describe(func.value) is not None
+            ):
+                return f"set .{func.attr}(...)"
+            return None
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Name) and self._tainted_name(node.id):
+            return f"{node.id!r} (a set / unsorted listing)"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, SET_BINOPS):
+            return self._describe(node.left) or self._describe(node.right)
+        return None
+
+    # ------------------------------------------------------------- scoping
+
+    def _visit_function(self, node) -> None:
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node)
+
+    # ---------------------------------------------------------- assignments
+
+    def _bind(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            self._scopes[-1].discard(target.id)
+            if tainted:
+                self._scopes[-1].add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tainted)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        tainted = self._describe(node.value) is not None
+        for target in node.targets:
+            self._bind(target, tainted)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self._describe(node.value) is not None)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``s |= other`` keeps existing taint; ``xs += [..]`` keeps none.
+        self.generic_visit(node)
+
+    # ------------------------------------------------------ iteration sites
+
+    def _flag(self, node: ast.AST, what: str, context: str) -> None:
+        self.report(
+            node,
+            f"{context} over {what} iterates in nondeterministic order in "
+            "digest-affecting code; wrap the iterable in sorted(...)",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        what = self._describe(node.iter)
+        if what is not None:
+            self._flag(node.iter, what, "for-loop")
+        # Loop variables bound from a tainted iterable are elements, not
+        # sets; they carry no iteration-order taint of their own.
+        self._bind(node.target, False)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            what = self._describe(generator.iter)
+            if what is not None:
+                self._flag(generator.iter, what, "comprehension")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The *result* being a set is handled at its own iteration site;
+        # here only the generators matter.
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in MATERIALIZERS
+            and node.args
+        ):
+            what = self._describe(node.args[0])
+            if what is not None:
+                self._flag(node, what, f"{func.id}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and dotted_name(func) not in ("os.path.join", "posixpath.join", "ntpath.join")
+            and node.args
+        ):
+            what = self._describe(node.args[0])
+            if what is not None:
+                self._flag(node, what, "str.join()")
+        self.generic_visit(node)

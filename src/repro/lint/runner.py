@@ -1,11 +1,23 @@
-"""mutiny-lint runner: file discovery, checker dispatch, report assembly.
+"""mutiny-lint runner: discovery, two-phase checker dispatch, report assembly.
 
-The runner is what ``repro.cli lint`` (and the tests) drive: point it at one
-or more paths, it discovers ``.py`` files, computes each file's parts
-relative to the ``repro`` package root (so checker path scopes work both on
-the real tree and on fixture trees that mirror the layout under a temp
-directory), runs every selected checker, applies inline suppressions, and
-returns a :class:`LintReport`.
+The runner is what ``repro.cli lint`` (and the tests) drive.  Since PR 10
+a run has two phases:
+
+* **Phase A (per file, cacheable)** — parse, run every in-scope *file*
+  checker (MUT001–MUT005, MUT009), parse suppressions, and distill the
+  module into a :class:`~repro.lint.symbols.ModuleSummary`.  All of it
+  depends only on the file's bytes, so results persist in the incremental
+  cache (:mod:`repro.lint.cache`) and a warm run skips parsing entirely.
+
+* **Phase B (whole program)** — build the project call graph from the
+  summaries and run the *graph* checkers (MUT006–MUT008 plus MUT001's
+  interprocedural escape analysis).  Cheap relative to parsing, and
+  inherently cross-file, so it runs fresh every time.
+
+Inline suppressions apply to both phases (a graph finding lands on a
+concrete line like any other), and the optional findings baseline
+(:mod:`repro.lint.baseline`) splits the result into new-vs-recorded
+findings with a stale-entry ratchet.
 """
 
 from __future__ import annotations
@@ -14,20 +26,33 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Type
 
+from repro.lint import baseline as baseline_mod
+from repro.lint.cache import LintCache
+from repro.lint.callgraph import build_graph
+from repro.lint.concurrency import BlockingUnderLockChecker, LockOrderChecker
 from repro.lint.determinism import DeterminismChecker
 from repro.lint.exceptions import SwallowedExceptionChecker
 from repro.lint.framework import (
     HYGIENE_CODE,
     Checker,
     Diagnostic,
+    Suppression,
+    is_suppressed,
     load_lint_file,
 )
 from repro.lint.informer import InformerMutationChecker
+from repro.lint.iteration import NondeterministicIterationChecker
 from repro.lint.locks import LockDisciplineChecker
+from repro.lint.purity_graph import (
+    GraphChecker,
+    InformerEscapeChecker,
+    InterproceduralPurityChecker,
+)
+from repro.lint.symbols import ModuleSummary, index_module
 from repro.lint.transport_purity import TransportPurityChecker
 
-#: Every checker, in code order.  MUT000 is not a checker — it is the
-#: hygiene code emitted by the framework itself (unparseable files, bad
+#: Every per-file checker, in code order.  MUT000 is not a checker — it is
+#: the hygiene code emitted by the framework itself (unparseable files, bad
 #: suppression comments) and is documented via :data:`EXPLANATIONS`.
 ALL_CHECKERS: tuple[Type[Checker], ...] = (
     InformerMutationChecker,
@@ -35,6 +60,16 @@ ALL_CHECKERS: tuple[Type[Checker], ...] = (
     DeterminismChecker,
     LockDisciplineChecker,
     SwallowedExceptionChecker,
+    NondeterministicIterationChecker,
+)
+
+#: Every whole-program checker (phase B).  InformerEscapeChecker shares
+#: MUT001 with the file checker — same contract, interprocedural lens.
+GRAPH_CHECKERS: tuple[Type[GraphChecker], ...] = (
+    InterproceduralPurityChecker,
+    BlockingUnderLockChecker,
+    LockOrderChecker,
+    InformerEscapeChecker,
 )
 
 HYGIENE_EXPLANATION = """\
@@ -61,18 +96,18 @@ the comment or the file.
 
 #: code -> long-form explanation, served by ``repro.cli lint --explain``.
 EXPLANATIONS: dict[str, str] = {HYGIENE_CODE: HYGIENE_EXPLANATION}
-for _checker in ALL_CHECKERS:
-    EXPLANATIONS[_checker.code] = _checker.explanation
-
 #: code -> one-line title (for listings).
 TITLES: dict[str, str] = {HYGIENE_CODE: "Lint hygiene (bad suppression / unreadable file)"}
-for _checker in ALL_CHECKERS:
-    TITLES[_checker.code] = _checker.title
+for _checker in (*ALL_CHECKERS, *GRAPH_CHECKERS):
+    if _checker.title:  # InformerEscapeChecker defers MUT001's docs
+        EXPLANATIONS[_checker.code] = _checker.explanation
+        TITLES[_checker.code] = _checker.title
 
 KNOWN_CODES: tuple[str, ...] = tuple(sorted(TITLES))
 
 #: Schema version of the ``--format json`` document.  Bump only on a
-#: breaking change to the document shape; tests pin this.
+#: breaking change to the document shape; tests pin this.  The PR 10
+#: baseline/cache fields are additive.
 JSON_SCHEMA_VERSION = 1
 
 
@@ -82,15 +117,25 @@ class LintUsageError(ValueError):
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    With a baseline applied, :attr:`diagnostics` holds only the findings
+    that *fail* the run (not matched by a baseline entry); matched ones
+    are counted in :attr:`baselined` and stale baseline entries — the
+    ratchet — in :attr:`stale_baseline`.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     codes: tuple[str, ...] = ()
+    baselined: int = 0
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.diagnostics
+        return not self.diagnostics and not self.stale_baseline
 
     def to_document(self) -> dict:
         """The stable ``--format json`` document."""
@@ -100,27 +145,47 @@ class LintReport:
             "codes": list(self.codes),
             "files_checked": self.files_checked,
             "findings": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            "baselined": self.baselined,
+            "stale_baseline": [
+                {"file": file, "code": code, "message": message}
+                for file, code, message in self.stale_baseline
+            ],
             "ok": self.ok,
         }
 
 
 def _discover(paths: Sequence[str]) -> list[str]:
-    """Every ``.py`` file under the given files/directories, sorted."""
-    found: set[str] = set()
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    Symlink policy: directory symlinks are pruned from the walk (a link
+    pointing back up the tree would loop, and a linked subtree would
+    duplicate every finding under two spellings), and the final list is
+    deduplicated by resolved real path — a symlinked file, or the same
+    tree reached through two of the given paths, lints exactly once under
+    its first (sorted) display path.
+    """
+    candidates: set[str] = set()
     for path in paths:
         if os.path.isfile(path):
-            found.add(path)
+            candidates.add(path)
         elif os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
-                    name for name in dirnames if name != "__pycache__" and not name.startswith(".")
+                    name
+                    for name in dirnames
+                    if name != "__pycache__"
+                    and not name.startswith(".")
+                    and not os.path.islink(os.path.join(dirpath, name))
                 )
                 for filename in filenames:
                     if filename.endswith(".py"):
-                        found.add(os.path.join(dirpath, filename))
+                        candidates.add(os.path.join(dirpath, filename))
         else:
             raise LintUsageError(f"no such file or directory: {path}")
-    return sorted(found)
+    unique: dict[str, str] = {}
+    for display in sorted(candidates):
+        unique.setdefault(os.path.realpath(display), display)
+    return sorted(unique.values())
 
 
 def _relparts(path: str) -> tuple[str, ...]:
@@ -158,26 +223,90 @@ def select_codes(codes: Optional[Iterable[str]]) -> tuple[str, ...]:
     return tuple(dict.fromkeys(selected))
 
 
+def _phase_a(
+    path: str,
+    relparts: tuple[str, ...],
+    cache: Optional[LintCache],
+) -> tuple[list[Diagnostic], list[Suppression], Optional[ModuleSummary]]:
+    """Parse + file checkers + summary for one file, cache-aware.
+
+    Raw (pre-suppression) diagnostics of *every* in-scope file checker are
+    produced regardless of the run's ``--codes`` selection, so one cache
+    entry serves every selection.
+    """
+    if cache is not None:
+        entry = cache.load(path)
+        if entry is not None:
+            return entry.diagnostics, entry.suppressions, entry.summary
+    lint_file, hygiene = load_lint_file(path, relparts, KNOWN_CODES)
+    raw: list[Diagnostic] = list(hygiene)
+    suppressions: list[Suppression] = []
+    summary: Optional[ModuleSummary] = None
+    if lint_file is not None:
+        suppressions = lint_file.suppressions
+        for checker_class in ALL_CHECKERS:
+            if checker_class.applies_to(relparts):
+                raw.extend(checker_class(lint_file).run())
+        summary = index_module(lint_file)
+    if cache is not None:
+        cache.store(path, raw, suppressions, summary)
+    return raw, suppressions, summary
+
+
 def lint_paths(
-    paths: Sequence[str], codes: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    codes: Optional[Iterable[str]] = None,
+    *,
+    cache_dir: Optional[str] = None,
+    baseline_entries: Optional[Sequence[tuple[str, str, str]]] = None,
 ) -> LintReport:
-    """Lint the given files/directories with the selected checkers."""
+    """Lint the given files/directories with the selected checkers.
+
+    ``cache_dir`` enables the per-file incremental cache; ``baseline_entries``
+    (parsed from ``lint-baseline.json``) filters the result down to
+    new-vs-baselined findings with the stale-entry ratchet.
+    """
     selected = select_codes(codes)
-    checkers = [checker for checker in ALL_CHECKERS if checker.code in selected]
+    cache = LintCache(cache_dir) if cache_dir is not None else None
     report = LintReport(codes=selected)
+    collected: list[Diagnostic] = []
+    summaries: list[ModuleSummary] = []
+    suppressions_by_path: dict[str, list[Suppression]] = {}
     for path in _discover(paths):
         relparts = _relparts(path)
-        lint_file, hygiene = load_lint_file(path, relparts, KNOWN_CODES)
+        raw, suppressions, summary = _phase_a(path, relparts, cache)
         report.files_checked += 1
-        if HYGIENE_CODE in selected:
-            report.diagnostics.extend(hygiene)
-        if lint_file is None:
-            continue
-        for checker_class in checkers:
-            if not checker_class.applies_to(relparts):
+        suppressions_by_path[path] = suppressions
+        if summary is not None:
+            summaries.append(summary)
+        for diagnostic in raw:
+            if diagnostic.code not in selected:
                 continue
-            for diagnostic in checker_class(lint_file).run():
-                if not lint_file.suppressed(diagnostic):
-                    report.diagnostics.append(diagnostic)
-    report.diagnostics.sort()
+            if diagnostic.code != HYGIENE_CODE and is_suppressed(
+                suppressions, diagnostic
+            ):
+                continue
+            collected.append(diagnostic)
+    graph_checkers = [
+        checker for checker in GRAPH_CHECKERS if checker.code in selected
+    ]
+    if graph_checkers and summaries:
+        graph = build_graph(summaries)
+        for graph_checker in graph_checkers:
+            for diagnostic in graph_checker().run(graph, suppressions_by_path):
+                if not is_suppressed(
+                    suppressions_by_path.get(diagnostic.path, []), diagnostic
+                ):
+                    collected.append(diagnostic)
+    collected.sort()
+    if baseline_entries is not None:
+        applied = baseline_mod.apply(collected, baseline_entries)
+        report.diagnostics = applied.new
+        report.baselined = len(applied.matched)
+        report.stale_baseline = applied.stale
+    else:
+        report.diagnostics = collected
+    if cache is not None:
+        report.cache_hits = cache.stats.hits
+        report.cache_misses = cache.stats.misses
     return report

@@ -1,0 +1,563 @@
+"""Whole-program pass 1: per-module symbol tables and function summaries.
+
+PR 8's checkers were strictly intraprocedural — one ``ast.NodeVisitor`` per
+file, no knowledge of what a called helper does.  That is exactly the hole
+the Mutiny paper warns about: failures propagate through *chains* of
+components, and a contract checker that cannot see chains misses the
+defects that matter (a helper doing raw I/O on behalf of
+``resultstore.py``, a blocking call three frames below a ``with
+self._lock:``).
+
+This module is the first of the two whole-program passes: it distills each
+parsed module into a :class:`ModuleSummary` — classes, bases, methods,
+module-level functions, import aliases, and a per-function
+:class:`FunctionSummary` of everything the interprocedural checkers need:
+
+* every call site, with its attribute chain, its import-resolved dotted
+  target when the root is an imported name, the lock(s) lexically held at
+  the call, which positional arguments carry MUT001 ``copy=False`` taint,
+  and which arguments are the caller's own parameters (for transitive
+  parameter-mutation analysis);
+* every lock acquisition (``with self._lock:`` / ``with GLOBAL_LOCK:``)
+  with the locks already held at that point — the edges of the per-class
+  lock-order graph (MUT008);
+* which of the function's parameters the body mutates in place, so the
+  call graph can answer "does passing a tainted reference here mutate it?"
+  (the MUT001 interprocedural hole).
+
+Summaries are plain picklable data — no AST nodes — so the incremental
+cache (:mod:`repro.lint.cache`) can persist them per file and a warm run
+skips parsing entirely; only the cheap cross-file graph analysis re-runs.
+
+Documented approximations (conservative by design):
+
+* nested function and lambda bodies are *not* summarized — they execute
+  later, on an unknown thread, so attributing their calls to the enclosing
+  function's lock context would be wrong more often than right;
+* only positional arguments participate in taint/parameter mapping;
+* a method called as ``self.m(...)`` / ``cls.m(...)`` is resolvable; a
+  call through any other receiver (``obj.m(...)``) is an *unknown callee*
+  — the graph records the chain for heuristics but follows no edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lint.framework import LintFile
+
+#: Methods whose call mutates their receiver in place (mirrors MUT001).
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "sort", "reverse", "add", "discard",
+    }
+)
+
+#: Accessor names whose ``copy=False`` form returns cache references.
+CACHE_READERS = frozenset({"get", "list"})
+
+#: Placeholder root for a call/attribute chain rooted in a non-Name
+#: expression (a call result, a subscript, ...).
+OPAQUE_ROOT = "<expr>"
+
+
+def is_lock_name(name: str) -> bool:
+    """Whether an attribute/variable name denotes a lock (``_lock``,
+    ``lock``, ``_store_lock``, ...).  Purely lexical, documented as such."""
+    return "lock" in name.lower()
+
+
+# ---------------------------------------------------------------------------
+# Summary data (picklable, AST-free)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    line: int
+    col: int
+    #: Attribute chain as written: ``("self", "transport", "put")``,
+    #: ``("helper",)``, ``("os", "remove")``.  Root is :data:`OPAQUE_ROOT`
+    #: when the receiver is not a plain name.
+    chain: tuple[str, ...]
+    #: Import-alias-resolved dotted target when the chain is rooted in an
+    #: imported name (``os.remove``, ``repro.core.transport.transport_for``);
+    #: ``None`` otherwise.
+    dotted: Optional[str] = None
+    #: Positional argument indexes whose value is a ``copy=False``-tainted
+    #: name (MUT001 interprocedural escape analysis).
+    tainted_args: tuple[int, ...] = ()
+    #: ``(argument_index, caller_parameter_index)`` pairs for positional
+    #: arguments that are the caller's own bare parameters.
+    param_args: tuple[tuple[int, int], ...] = ()
+    #: Lock tokens lexically held at the call (``self._lock`` / ``G:NAME``).
+    held_locks: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One ``with <lock>:`` entry inside a function body."""
+
+    line: int
+    col: int
+    lock: str  # "self.<attr>" or "G:<name>"
+    held: tuple[str, ...]  # locks already held at this acquisition
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the interprocedural checkers need about one function."""
+
+    name: str
+    qualname: str  # "Class.method" or "function"
+    line: int
+    col: int
+    params: tuple[str, ...]  # positional parameters, in order (incl. self)
+    calls: tuple[CallSite, ...] = ()
+    lock_acquires: tuple[LockAcquire, ...] = ()
+    #: ``(parameter_index, line)`` for parameters the body mutates in place.
+    mutated_params: tuple[tuple[int, int], ...] = ()
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassSummary:
+    name: str
+    line: int
+    #: Base-class references: plain names (same module) or import-resolved
+    #: dotted paths; unresolvable bases are kept verbatim and simply fail
+    #: project resolution later (conservative).
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: The ``_lock_guarded`` declaration, if the class opts into MUT004.
+    lock_guarded: Optional[tuple[str, ...]] = None
+
+
+@dataclass
+class ModuleSummary:
+    """One module's contribution to the project symbol table."""
+
+    module: str  # dotted module name, e.g. "repro.core.resultstore"
+    path: str
+    relparts: tuple[str, ...]
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Module-name and import resolution
+# ---------------------------------------------------------------------------
+
+
+def module_name_for(relparts: tuple[str, ...]) -> str:
+    """Dotted module name for a repro-package-relative path.
+
+    ``("core", "transport.py")`` → ``repro.core.transport``; fixture trees
+    that mirror the package layout resolve identically, which is what lets
+    the call-graph tests run against temp directories.
+    """
+    parts = list(relparts)
+    if parts and parts[-1].endswith(".py"):
+        leaf = parts.pop()[: -len(".py")]
+        if leaf != "__init__":
+            parts.append(leaf)
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+def _package_of(module: str) -> str:
+    """The package a module lives in (``repro.core.x`` → ``repro.core``)."""
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Resolve a ``from .x import y`` module reference to a dotted path."""
+    base = _package_of(module)
+    for _ in range(level - 1):
+        base = _package_of(base)
+    if target:
+        return f"{base}.{target}" if base else target
+    return base
+
+
+def attribute_chain(node: ast.AST) -> tuple[str, ...]:
+    """The written attribute chain of a call target / receiver.
+
+    ``self.transport.put`` → ``("self", "transport", "put")``; a chain
+    rooted in a non-Name expression gets :data:`OPAQUE_ROOT` as its root.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append(OPAQUE_ROOT)
+    return tuple(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Function-body indexing
+# ---------------------------------------------------------------------------
+
+
+def _is_copy_false_read(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr not in CACHE_READERS:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+def _is_deep_copy_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "deep_copy"
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr == "deep_copy"
+    return False
+
+
+def _lock_token(expr: ast.expr) -> Optional[str]:
+    """The lock token of a ``with`` context expression, or ``None``.
+
+    Recognized: ``self.<attr>`` where the attr names a lock, and a bare
+    module-level ``NAME`` that names a lock.
+    """
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and is_lock_name(expr.attr)
+    ):
+        return f"self.{expr.attr}"
+    if isinstance(expr, ast.Name) and is_lock_name(expr.id):
+        return f"G:{expr.id}"
+    return None
+
+
+class _FunctionIndexer:
+    """Walks one function body collecting calls, locks, taint, mutations.
+
+    The walk is sequential and lexical: statements in source order, one
+    taint environment per function, ``with``-lock containment tracked as a
+    stack.  Nested function/lambda bodies are skipped entirely (deferred
+    execution — see the module docstring).
+    """
+
+    def __init__(self, imports: dict[str, str], params: tuple[str, ...]):
+        self.imports = imports
+        self.params = params
+        self.param_index = {name: index for index, name in enumerate(params)}
+        self.calls: list[CallSite] = []
+        self.acquires: list[LockAcquire] = []
+        self.mutated: dict[int, int] = {}  # param index -> first mutation line
+        self._tainted: set[str] = set()  # names carrying "ref" taint
+        self._element_tainted: set[str] = set()  # fresh containers of refs
+
+    # -------------------------------------------------------------- statements
+
+    def walk(self, statements: list[ast.stmt], held: tuple[str, ...]) -> None:
+        for statement in statements:
+            self._statement(statement, held)
+
+    def _statement(self, node: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # deferred execution / separate scope
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                self._expression(item.context_expr, inner)
+                token = _lock_token(item.context_expr)
+                if token is not None:
+                    self.acquires.append(
+                        LockAcquire(
+                            line=item.context_expr.lineno,
+                            col=item.context_expr.col_offset + 1,
+                            lock=token,
+                            held=inner,
+                        )
+                    )
+                    inner = (*inner, token)
+            self.walk(node.body, inner)
+            return
+        if isinstance(node, ast.Assign):
+            self._expression(node.value, held)
+            taint = self._taint_of(node.value)
+            for target in node.targets:
+                self._assign_target(target, taint, held)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._expression(node.value, held)
+                self._assign_target(node.target, self._taint_of(node.value), held)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._expression(node.value, held)
+            self._mutation_target(node.target)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._mutation_target(target)
+            return
+        if isinstance(node, ast.For):
+            self._expression(node.iter, held)
+            iter_taint = self._taint_of(node.iter)
+            # Iterating either taint kind yields cache references.
+            self._assign_target(node.target, "ref" if iter_taint else None, held)
+            self.walk(node.body, held)
+            self.walk(node.orelse, held)
+            return
+        if isinstance(node, ast.Try):
+            self.walk(node.body, held)
+            for handler in node.handlers:
+                self.walk(handler.body, held)
+            self.walk(node.orelse, held)
+            self.walk(node.finalbody, held)
+            return
+        # Generic compound statements (If, While, Match, Expr, Return, ...):
+        # recurse into nested statement lists, scan expressions for calls.
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                statements = [item for item in value if isinstance(item, ast.stmt)]
+                if statements:
+                    self.walk(statements, held)
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        self._expression(item, held)
+            elif isinstance(value, ast.expr):
+                self._expression(value, held)
+            elif isinstance(value, ast.stmt):
+                self._statement(value, held)
+
+    # ------------------------------------------------------------------ taint
+
+    def _taint_of(self, value: ast.expr) -> Optional[str]:
+        """``"ref"``/``"elements"`` taint carried by a value, or ``None``."""
+        if _is_deep_copy_call(value):
+            return None
+        if _is_copy_false_read(value):
+            return "ref"
+        if isinstance(value, ast.Name):
+            if value.id in self._tainted:
+                return "ref"
+            if value.id in self._element_tainted:
+                return "elements"
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            if _is_deep_copy_call(value.elt):
+                return None
+            for generator in value.generators:
+                if self._taint_of(generator.iter) is not None:
+                    return "elements"
+        return None
+
+    def _assign_target(
+        self, target: ast.expr, taint: Optional[str], held: tuple[str, ...]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._tainted.discard(target.id)
+            self._element_tainted.discard(target.id)
+            # A rebound parameter name no longer aliases the caller's
+            # object (``p = deep_copy(p)`` is the sanctioned pattern):
+            # later mutations through it are not parameter mutations.
+            self.param_index.pop(target.id, None)
+            if taint == "ref":
+                self._tainted.add(target.id)
+            elif taint == "elements":
+                self._element_tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, taint, held)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._mutation_target(target)
+            self._expression(target, held)
+
+    def _mutation_target(self, target: ast.expr) -> None:
+        """Record in-place mutation of a parameter through attr/item access."""
+        node: ast.AST = target
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            index = self.param_index.get(node.id)
+            # A bare rebind (``p = ...``) is not a mutation; only attribute
+            # or item access through the parameter is.
+            if index is not None and node is not target:
+                self.mutated.setdefault(index, target.lineno)
+
+    # ------------------------------------------------------------ expressions
+
+    def _expression(self, node: ast.expr, held: tuple[str, ...]) -> None:
+        """Collect every call in an expression tree (skipping deferred defs)."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, ast.Call):
+                self._record_call(child, held)
+
+    def _record_call(self, node: ast.Call, held: tuple[str, ...]) -> None:
+        chain = attribute_chain(node.func)
+        dotted: Optional[str] = None
+        root = chain[0]
+        if root != OPAQUE_ROOT and root in self.imports and len(chain) >= 1:
+            dotted = ".".join((self.imports[root], *chain[1:]))
+        tainted: list[int] = []
+        param_args: list[tuple[int, int]] = []
+        for position, argument in enumerate(node.args):
+            if isinstance(argument, ast.Name):
+                if argument.id in self._tainted:
+                    tainted.append(position)
+                param = self.param_index.get(argument.id)
+                if param is not None:
+                    param_args.append((position, param))
+        # A mutating method call through a parameter is a direct mutation.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            self._mutation_target(node.func)
+        self.calls.append(
+            CallSite(
+                line=node.lineno,
+                col=node.col_offset + 1,
+                chain=chain,
+                dotted=dotted,
+                tainted_args=tuple(tainted),
+                param_args=tuple(param_args),
+                held_locks=held,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module indexing
+# ---------------------------------------------------------------------------
+
+
+def _positional_params(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> tuple[str, ...]:
+    arguments = node.args
+    return tuple(a.arg for a in (*arguments.posonlyargs, *arguments.args))
+
+
+def _summarize_function(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    imports: dict[str, str],
+    class_name: Optional[str],
+) -> FunctionSummary:
+    params = _positional_params(node)
+    indexer = _FunctionIndexer(imports, params)
+    # The *_locked suffix is the repo's caller-holds-the-lock convention
+    # (see MUT004): treat the whole body as holding self._lock.
+    initial: tuple[str, ...] = ()
+    if class_name is not None and node.name.endswith("_locked"):
+        initial = ("self._lock",)
+    indexer.walk(node.body, initial)
+    qualname = f"{class_name}.{node.name}" if class_name else node.name
+    return FunctionSummary(
+        name=node.name,
+        qualname=qualname,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        params=params,
+        calls=tuple(indexer.calls),
+        lock_acquires=tuple(indexer.acquires),
+        mutated_params=tuple(sorted(indexer.mutated.items())),
+        class_name=class_name,
+    )
+
+
+def _lock_guarded_declaration(node: ast.ClassDef) -> Optional[tuple[str, ...]]:
+    for statement in node.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        for target in statement.targets:
+            if isinstance(target, ast.Name) and target.id == "_lock_guarded":
+                value = statement.value
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    return tuple(
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+                return ()
+    return None
+
+
+def _base_reference(expr: ast.expr, imports: dict[str, str]) -> Optional[str]:
+    chain = attribute_chain(expr)
+    if chain[0] == OPAQUE_ROOT:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+    if chain[0] in imports:
+        return ".".join((imports[chain[0]], *chain[1:]))
+    return ".".join(chain)
+
+
+def index_module(lint_file: LintFile) -> ModuleSummary:
+    """Distill one parsed file into its :class:`ModuleSummary`."""
+    module = module_name_for(lint_file.relparts)
+    summary = ModuleSummary(
+        module=module, path=lint_file.path, relparts=lint_file.relparts
+    )
+    for node in lint_file.tree.body:
+        _index_statement(node, summary)
+    return summary
+
+
+def _index_statement(node: ast.stmt, summary: ModuleSummary) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            summary.imports[bound] = target
+    elif isinstance(node, ast.ImportFrom):
+        base = (
+            _resolve_relative(summary.module, node.level, node.module)
+            if node.level
+            else (node.module or "")
+        )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            summary.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        summary.functions[node.name] = _summarize_function(
+            node, summary.imports, class_name=None
+        )
+    elif isinstance(node, ast.ClassDef):
+        klass = ClassSummary(
+            name=node.name,
+            line=node.lineno,
+            bases=tuple(
+                reference
+                for base in node.bases
+                if (reference := _base_reference(base, summary.imports)) is not None
+            ),
+            lock_guarded=_lock_guarded_declaration(node),
+        )
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                klass.methods[statement.name] = _summarize_function(
+                    statement, summary.imports, class_name=node.name
+                )
+        summary.classes[node.name] = klass
+    elif isinstance(node, (ast.If, ast.Try)):
+        # Conditional imports / definitions at module level (the common
+        # ``try: import x`` pattern) still contribute symbols.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                _index_statement(child, summary)

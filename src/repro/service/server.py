@@ -160,12 +160,14 @@ class CampaignService:
             except (TransportKeyError, SpecError, KeyError, ValueError):
                 continue  # a torn or foreign record must not block startup
             campaign_id = record.get("id") or spec.campaign_id()
+            # The completeness probe reads the campaign's store — transport
+            # round-trips that must not run under the registry lock (every
+            # handler thread would stall behind startup I/O).
+            terminal = bool(record.get("cancelled")) or _store_complete(spec)
             with self._lock:
                 if campaign_id in self._campaigns:
                     continue
-                handle = None
-                if not record.get("cancelled") and not _store_complete(spec):
-                    handle = CampaignHandle(spec).start()
+                handle = None if terminal else CampaignHandle(spec).start()
                 self._campaigns[campaign_id] = ManagedCampaign(record, spec, handle)
             recovered += 1
         self._ready.set()
@@ -190,28 +192,46 @@ class CampaignService:
         if spec.checkpoint:
             raise SpecError("service campaigns cannot use checkpoint persistence")
         campaign_id = spec.campaign_id()
+        # Admission, registry mutation, and the (cheap) handle start happen
+        # under the lock so quota accounting and idempotency stay atomic;
+        # the index-record transport round-trip happens *after* release —
+        # a slow or faulty state store must never stall every other
+        # handler thread behind `self._lock` (mutiny-lint MUT007).
         with self._lock:
             existing = self._campaigns.get(campaign_id)
             if existing is not None:
-                if existing.state in ("failed", "cancelled"):
-                    self._admit_locked()
-                    existing.record["cancelled"] = False
-                    self._persist_record(existing.record, overwrite=True)
-                    existing.handle = CampaignHandle(spec).start()
+                if existing.state not in ("failed", "cancelled"):
                     return 200, self._response(existing)
-                return 200, self._response(existing)
-            self._admit_locked()
-            record = {
-                "id": campaign_id,
-                "fingerprint": spec.fingerprint(),
-                "spec": spec.to_dict(),
-                "submitted_at": time.time(),
-                "cancelled": False,
-            }
-            self._persist_record(record, overwrite=False)
-            managed = ManagedCampaign(record, spec, CampaignHandle(spec).start())
-            self._campaigns[campaign_id] = managed
-            return 201, self._response(managed)
+                self._admit_locked()
+                existing.record["cancelled"] = False
+                existing.handle = CampaignHandle(spec).start()
+                managed, status, created = existing, 200, False
+            else:
+                self._admit_locked()
+                record = {
+                    "id": campaign_id,
+                    "fingerprint": spec.fingerprint(),
+                    "spec": spec.to_dict(),
+                    "submitted_at": time.time(),
+                    "cancelled": False,
+                }
+                managed = ManagedCampaign(record, spec, CampaignHandle(spec).start())
+                self._campaigns[campaign_id] = managed
+                status, created = 201, True
+        try:
+            # Restarts overwrite their own record; fresh submissions defer
+            # to a replica that indexed the same content-derived id first.
+            self._persist_record(managed.record, overwrite=not created)
+        except TransportError:
+            # Un-admit: a campaign the index cannot name would be orphaned
+            # by the next rehydration, so stop the runner, free the quota
+            # slot, and surface the store failure to the client.
+            managed.handle.cancel()
+            with self._lock:
+                if created:
+                    self._campaigns.pop(campaign_id, None)
+            raise
+        return status, self._response(managed)
 
     def _admit_locked(self) -> None:
         running = sum(1 for campaign in self._campaigns.values() if campaign.active)
@@ -270,7 +290,10 @@ class CampaignService:
             managed.handle.cancel()
         with self._lock:
             managed.record["cancelled"] = True
-            self._persist_record(managed.record, overwrite=True)
+        # Persist the intent off-lock: the registry flip above is what other
+        # handler threads need, and the index write is a transport
+        # round-trip that must not hold them up (mutiny-lint MUT007).
+        self._persist_record(managed.record, overwrite=True)
         return {"id": campaign_id, "state": managed.state, "cancelled": True}
 
     def document_bytes(self, campaign_id: str) -> Optional[bytes]:

@@ -16,27 +16,40 @@ import textwrap
 import pytest
 
 import repro
-from repro.cli import main
+from repro.cli import _github_escape, main
 from repro.lint import (
     EXPLANATIONS,
     HYGIENE_CODE,
     JSON_SCHEMA_VERSION,
     KNOWN_CODES,
     TITLES,
+    BaselineError,
+    Diagnostic,
     LintUsageError,
     lint_paths,
     select_codes,
 )
+from repro.lint import baseline as lint_baseline
 
 REPRO_PACKAGE = os.path.dirname(os.path.abspath(repro.__file__))
 
 
-def lint_fixture(tmp_path, relpath: str, source: str, codes=None):
+def lint_fixture(tmp_path, relpath: str, source: str, codes=None, **kwargs):
     """Write one fixture file mirroring the package layout and lint it."""
     path = tmp_path / "repro" / relpath
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(textwrap.dedent(source))
-    return lint_paths([str(path)], codes=codes)
+    return lint_paths([str(path)], codes=codes, **kwargs)
+
+
+def lint_tree(tmp_path, files: dict, codes=None, **kwargs):
+    """Write a multi-file fixture tree (for the whole-program checkers)
+    mirroring the package layout, and lint the whole tree."""
+    for relpath, source in files.items():
+        path = tmp_path / "repro" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return lint_paths([str(tmp_path)], codes=codes, **kwargs)
 
 
 def codes_of(report):
@@ -663,7 +676,8 @@ class TestRunner:
         )
         document = report.to_document()
         assert sorted(document) == [
-            "codes", "files_checked", "findings", "ok", "schema_version", "tool",
+            "baselined", "codes", "files_checked", "findings", "ok",
+            "schema_version", "stale_baseline", "tool",
         ]
         assert document["schema_version"] == JSON_SCHEMA_VERSION == 1
         assert document["tool"] == "mutiny-lint"
@@ -678,6 +692,700 @@ class TestRunner:
         for code in KNOWN_CODES:
             assert TITLES[code].strip()
             assert len(EXPLANATIONS[code].strip()) > 100
+
+
+# ---------------------------------------------------------------------------
+# MUT006 — interprocedural transport purity
+# ---------------------------------------------------------------------------
+
+
+class TestInterproceduralPurity:
+    def test_cross_module_chain_is_found_with_the_full_chain(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/util.py": """\
+                def dump(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+                """,
+                "service/flush.py": """\
+                from repro.core.util import dump
+
+                def persist(path, data):
+                    dump(path, data)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT006"]
+        diagnostic = report.diagnostics[0]
+        assert "flush.py" in diagnostic.path
+        assert diagnostic.line == 4
+        assert "call chain:" in diagnostic.message
+        assert "util.dump (service/flush.py:4)" in diagnostic.message
+        assert "open() (core/util.py:2)" in diagnostic.message
+
+    def test_in_scope_terminal_is_mut002s_finding_not_a_chain(self, tmp_path):
+        # The helper's open() lives inside MUT002's scope: the primitive is
+        # reported there once, and MUT006 does not also flag every caller.
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/selfio.py": """\
+                def helper(path):
+                    open(path)
+
+                def persist(path):
+                    helper(path)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT002"]
+        assert report.diagnostics[0].line == 2
+
+    def test_transport_modules_are_the_sanctioned_floor(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/transport.py": """\
+                def put(path, data):
+                    with open(path, "wb") as handle:
+                        handle.write(data)
+                """,
+                "service/store.py": """\
+                from repro.core import transport
+
+                def persist(path, data):
+                    transport.put(path, data)
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_out_of_scope_callers_are_not_constrained(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/util.py": """\
+                def dump(path, data):
+                    open(path)
+                """,
+                "controllers/logger.py": """\
+                from repro.core.util import dump
+
+                def snapshot(path, data):
+                    dump(path, data)
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_justified_suppression_at_the_primitive_covers_chains(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "core/probe.py": """\
+                def probe(path):
+                    # mutiny-lint: disable=MUT006 -- scratch file outside the store root, never shard data
+                    open(path)
+                """,
+                "service/monitor.py": """\
+                from repro.core.probe import probe
+
+                def check(path):
+                    probe(path)
+                """,
+            },
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT001 (interprocedural) — tainted reference escaping into a helper
+# ---------------------------------------------------------------------------
+
+
+class TestInformerEscape:
+    def test_copy_false_ref_passed_to_mutating_helper_is_found(self, tmp_path):
+        # The documented hole in intraprocedural MUT001: the mutation
+        # happens in the helper, the taint in the caller.
+        report = lint_tree(
+            tmp_path,
+            {
+                "controllers/escape.py": """\
+                def strip_status(pod):
+                    pod.pop("status")
+
+                def reconcile(client):
+                    pod = client.get("Pod", "a", copy=False)
+                    strip_status(pod)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT001"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.line == 6
+        assert "'strip_status'" in diagnostic.message
+        assert "'pod'" in diagnostic.message
+        assert "controllers/escape.py:2" in diagnostic.message
+        assert "deep_copy" in diagnostic.message
+
+    def test_transitive_forwarding_is_found(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "controllers/chainmut.py": """\
+                def inner(obj):
+                    obj["seen"] = True
+
+                def outer(obj):
+                    inner(obj)
+
+                def reconcile(client):
+                    pods = client.list("Pod", copy=False)
+                    outer(pods)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT001"]
+        assert report.diagnostics[0].line == 9
+
+    def test_method_helper_accounts_for_self(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "controllers/methodmut.py": """\
+                class Reconciler:
+                    def _strip(self, pod):
+                        pod.pop("status")
+
+                    def reconcile(self, client):
+                        pod = client.get("Pod", "a", copy=False)
+                        self._strip(pod)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT001"]
+        assert "'pod'" in report.diagnostics[0].message
+
+    def test_helper_that_rebinds_its_parameter_is_safe(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "controllers/rebind.py": """\
+                def sanitize(pod, deep_copy):
+                    pod = deep_copy(pod)
+                    pod.pop("status")
+
+                def reconcile(client, deep_copy):
+                    pod = client.get("Pod", "a", copy=False)
+                    sanitize(pod, deep_copy)
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_read_only_helper_is_safe(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "controllers/readonly.py": """\
+                def name_of(pod):
+                    return pod.get("name")
+
+                def reconcile(client):
+                    pod = client.get("Pod", "a", copy=False)
+                    return name_of(pod)
+                """,
+            },
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT007 — blocking under a lock
+# ---------------------------------------------------------------------------
+
+
+class TestBlockingUnderLock:
+    def test_direct_sleep_under_lock_is_found(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/busy.py": """\
+                import time
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def bad(self):
+                        with self._lock:
+                            time.sleep(0.1)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT007"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.line == 10
+        assert "time.sleep()" in diagnostic.message
+        assert "self._lock" in diagnostic.message
+
+    def test_transport_seven_op_under_lock_is_found(self, tmp_path):
+        # The receiver is a parameter — an unknown callee to the graph —
+        # but the lexical transport heuristic must not silently pass it.
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/flushy.py": """\
+                import threading
+
+                class Writer:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def flush(self, transport, key, data):
+                        with self._lock:
+                            transport.put(key, data)
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT007"]
+        assert "transport put()" in report.diagnostics[0].message
+
+    def test_thread_join_under_lock_is_found(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/joiny.py": """\
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def stop(self, worker_thread):
+                        with self._lock:
+                            worker_thread.join()
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT007"]
+        assert "Thread.join" in report.diagnostics[0].message
+
+    def test_interprocedural_chain_is_found_and_printed(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/spin.py": """\
+                import time
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def _backoff(self):
+                        time.sleep(0.5)
+
+                    def run(self):
+                        with self._lock:
+                            self._backoff()
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT007"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.line == 13
+        assert "call chain:" in diagnostic.message
+        assert "time.sleep() (service/spin.py:9)" in diagnostic.message
+
+    def test_locked_suffix_bodies_report_once_at_the_site(self, tmp_path):
+        # _flush_locked holds self._lock by convention: the sleep inside it
+        # is the finding; the caller's dispatch is not a second one.
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/conv.py": """\
+                import time
+                import threading
+
+                class Writer:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def _flush_locked(self):
+                        time.sleep(0.1)
+
+                    def flush(self):
+                        with self._lock:
+                            self._flush_locked()
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT007"]
+        assert report.diagnostics[0].line == 9
+
+    def test_join_and_sleep_outside_locks_are_fine(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/fine.py": """\
+                import os
+                import time
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def label(self, parts):
+                        with self._lock:
+                            return "-".join(parts) + os.path.join("a", "b")
+
+                    def nap(self):
+                        time.sleep(0.1)
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_justified_suppression_at_the_primitive_covers_callers(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/waivedblock.py": """\
+                import time
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def _pace(self):
+                        # mutiny-lint: disable=MUT007 -- fixed 1ms pacing, bounded and intentional
+                        time.sleep(0.001)
+
+                    def run(self):
+                        with self._lock:
+                            self._pace()
+                """,
+            },
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT008 — lock-order cycles
+# ---------------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_two_locks_taken_in_both_orders_is_a_cycle(self, tmp_path):
+        # One order is lexical, the other runs through the call graph.
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/order.py": """\
+                import threading
+
+                class TwoLocks:
+                    def __init__(self):
+                        self._read_lock = threading.Lock()
+                        self._write_lock = threading.Lock()
+
+                    def snapshot(self):
+                        with self._read_lock:
+                            with self._write_lock:
+                                pass
+
+                    def publish(self):
+                        with self._write_lock:
+                            self._note()
+
+                    def _note(self):
+                        with self._read_lock:
+                            pass
+                """,
+            },
+        )
+        assert codes_of(report) == ["MUT008", "MUT008"]
+        assert sorted(d.line for d in report.diagnostics) == [10, 15]
+        for diagnostic in report.diagnostics:
+            assert "lock-order cycle" in diagnostic.message
+            assert "_read_lock" in diagnostic.message
+            assert "_write_lock" in diagnostic.message
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/consistent.py": """\
+                import threading
+
+                class TwoLocks:
+                    def __init__(self):
+                        self._read_lock = threading.Lock()
+                        self._write_lock = threading.Lock()
+
+                    def snapshot(self):
+                        with self._read_lock:
+                            with self._write_lock:
+                                pass
+
+                    def publish(self):
+                        with self._read_lock:
+                            self._grab()
+
+                    def _grab(self):
+                        with self._write_lock:
+                            pass
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_same_attribute_on_two_classes_is_two_locks(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/twoclasses.py": """\
+                import threading
+
+                class Alpha:
+                    def both(self):
+                        with self._first_lock:
+                            with self._second_lock:
+                                pass
+
+                class Beta:
+                    def both(self):
+                        with self._second_lock:
+                            with self._first_lock:
+                                pass
+                """,
+            },
+        )
+        assert report.ok
+
+    def test_reentry_of_one_lock_is_not_an_ordering_edge(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "service/reentry.py": """\
+                import threading
+
+                class Svc:
+                    def outer(self):
+                        with self._lock:
+                            self._inner()
+
+                    def _inner(self):
+                        with self._lock:
+                            pass
+                """,
+            },
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# MUT009 — nondeterministic iteration
+# ---------------------------------------------------------------------------
+
+
+class TestNondeterministicIteration:
+    def test_for_loop_over_a_set_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/sched.py",
+            """\
+            def schedule(names):
+                pending = set(names)
+                for name in pending:
+                    pass
+            """,
+        )
+        assert codes_of(report) == ["MUT009"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.line == 3
+        assert "sorted(" in diagnostic.message
+
+    def test_comprehension_over_listdir_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/scan.py",
+            """\
+            import os
+
+            def scan(root):
+                return [name for name in os.listdir(root)]
+            """,
+        )
+        assert codes_of(report) == ["MUT009"]
+        assert "os.listdir()" in report.diagnostics[0].message
+
+    def test_join_over_a_set_comprehension_is_found(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/digest.py",
+            """\
+            def digest(parts):
+                return ",".join({p.strip() for p in parts})
+            """,
+        )
+        assert codes_of(report) == ["MUT009"]
+
+    def test_set_algebra_keeps_the_taint(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/algebra.py",
+            """\
+            def merge(a, b):
+                combined = set(a) | set(b)
+                return list(combined)
+            """,
+        )
+        assert codes_of(report) == ["MUT009"]
+
+    def test_sorted_wrapping_is_the_sanctioned_fix(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/sorted_ok.py",
+            """\
+            import os
+
+            def scan(root, names):
+                pending = set(names)
+                ordered = [name for name in sorted(pending)]
+                listing = sorted(os.listdir(root))
+                for name in listing:
+                    ordered.append(name)
+                return ordered
+            """,
+        )
+        assert report.ok
+
+    def test_membership_tests_are_fine(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/member.py",
+            """\
+            def filter_known(names):
+                pending = set(names)
+                return [n for n in names if n in pending]
+            """,
+        )
+        assert report.ok
+
+    def test_out_of_scope_modules_may_iterate_sets(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "service/anyorder.py",
+            """\
+            def schedule(names):
+                pending = set(names)
+                for name in pending:
+                    pass
+            """,
+        )
+        assert report.ok
+
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/waived_iter.py",
+            """\
+            def schedule(names):
+                pending = set(names)
+                # mutiny-lint: disable=MUT009 -- debug dump, order never reaches a result record
+                for name in pending:
+                    pass
+            """,
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# Baseline / ratchet
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def finding(self, tmp_path):
+        return lint_fixture(
+            tmp_path,
+            "sim/clocky.py",
+            "import time\n\ndef stamp():\n    return time.time()\n",
+        )
+
+    def test_serialize_parse_roundtrip_matches_the_finding(self, tmp_path):
+        first = self.finding(tmp_path)
+        assert codes_of(first) == ["MUT003"]
+        entries = lint_baseline.parse(lint_baseline.serialize(first.diagnostics))
+        assert entries[0][0] == "sim/clocky.py"
+        second = lint_fixture(
+            tmp_path,
+            "sim/clocky.py",
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            baseline_entries=entries,
+        )
+        assert second.ok
+        assert second.baselined == 1
+        assert not second.diagnostics
+
+    def test_new_findings_still_fail_a_baselined_run(self, tmp_path):
+        first = self.finding(tmp_path)
+        entries = lint_baseline.parse(lint_baseline.serialize(first.diagnostics))
+        report = lint_tree(
+            tmp_path,
+            {"sim/fresh.py": "import time\n\ndef other():\n    return time.time()\n"},
+            baseline_entries=entries,
+        )
+        assert not report.ok
+        assert report.baselined == 1
+        assert codes_of(report) == ["MUT003"]
+        assert "fresh.py" in report.diagnostics[0].path
+
+    def test_stale_entries_fail_the_run(self, tmp_path):
+        report = lint_fixture(
+            tmp_path,
+            "sim/fixed.py",
+            "def stamp(sim):\n    return sim.now()\n",
+            baseline_entries=[("sim/fixed.py", "MUT003", "gone finding")],
+        )
+        assert not report.ok
+        assert not report.diagnostics
+        assert report.stale_baseline == [("sim/fixed.py", "MUT003", "gone finding")]
+
+    def test_multiset_semantics_one_entry_silences_one_instance(self):
+        make = lambda line: Diagnostic(
+            path="/x/repro/sim/twice.py",
+            line=line,
+            column=0,
+            code="MUT003",
+            message="same defect",
+        )
+        result = lint_baseline.apply(
+            [make(3), make(9)], [("sim/twice.py", "MUT003", "same defect")]
+        )
+        assert len(result.matched) == 1
+        assert len(result.new) == 1
+        assert not result.stale
+
+    def test_parse_rejects_bad_documents(self):
+        with pytest.raises(BaselineError):
+            lint_baseline.parse("not json")
+        with pytest.raises(BaselineError):
+            lint_baseline.parse('{"version": 99, "entries": []}')
+        with pytest.raises(BaselineError):
+            lint_baseline.parse('{"version": 1, "entries": [{"file": 3}]}')
+
+    def test_shipped_baseline_is_empty(self):
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(repo_root, "lint-baseline.json")) as handle:
+            assert lint_baseline.parse(handle.read()) == []
 
 
 # ---------------------------------------------------------------------------
@@ -735,6 +1443,88 @@ class TestLintCli:
 
     def test_missing_path_exits_2(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        capsys.readouterr()
+
+    def test_write_baseline_then_default_run_passes(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv = ["lint", "--baseline", str(baseline), str(tmp_path)]
+        assert main(["lint", "--write-baseline", "--baseline", str(baseline),
+                     str(tmp_path)]) == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "(1 baselined)" in capsys.readouterr().out
+        # The ratchet: fixing the finding makes its entry stale — exit 1
+        # until the shrunk baseline is committed.
+        (tmp_path / "repro" / "sim" / "clocky.py").write_text(
+            "def stamp(sim):\n    return sim.now()\n"
+        )
+        assert main(argv) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", "--baseline", str(baseline),
+                     str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--no-baseline", str(tmp_path)]) == 1
+        assert "MUT003" in capsys.readouterr().out
+
+    def test_baseline_auto_pickup_from_cwd(self, tmp_path, capsys, monkeypatch):
+        self.seed(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--write-baseline", "repro"]) == 0
+        capsys.readouterr()
+        assert os.path.isfile("lint-baseline.json")
+        assert main(["lint", "repro"]) == 0
+        assert "(1 baselined)" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["lint", "--baseline", str(bad), str(tmp_path)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        path = self.seed(tmp_path)
+        assert main(["lint", "--format", "github", "--no-baseline",
+                     str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert f"::error file={path},line=4,col=" in out
+        assert "title=MUT003::" in out
+        assert "1 new finding(s), 0 stale baseline entr(ies)" in out
+
+    def test_github_format_annotates_stale_entries(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "controllers" / "fine.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def reconcile(client):\n    return client.list('Pod')\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"file": "controllers/fine.py", "code": "MUT001",
+                         "message": "long gone"}],
+        }))
+        assert main(["lint", "--format", "github", "--baseline", str(baseline),
+                     str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "::error title=stale lint baseline entry::" in out
+        assert "ratchet" in out
+
+    def test_github_escaping_of_workflow_command_data(self):
+        assert _github_escape("50% done\r\nnext") == "50%25 done%0D%0Anext"
+
+    def test_cache_flags_round_trip(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        cache_dir = tmp_path / "cache"
+        argv = ["lint", "--cache-dir", str(cache_dir), "--no-baseline",
+                str(tmp_path)]
+        assert main(argv) == 1
+        assert cache_dir.is_dir() and any(cache_dir.iterdir())
+        assert main(argv) == 1  # warm run reports identically
+        capsys.readouterr()
+        assert main(["lint", "--no-cache", "--no-baseline", str(tmp_path)]) == 1
         capsys.readouterr()
 
 
